@@ -1,0 +1,55 @@
+// Command allarm-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	allarm-bench -exp fig3a              # one experiment
+//	allarm-bench -exp all                # everything (minutes)
+//	allarm-bench -exp fig2 -accesses 120000 -seed 7
+//
+// Output is the series each figure plots (normalised to the baseline
+// exactly as the paper normalises); EXPERIMENTS.md records the paper-vs-
+// measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	allarm "allarm"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id or 'all' (one of: "+strings.Join(allarm.ExperimentIDs, ", ")+")")
+		accesses  = flag.Int("accesses", 0, "accesses per thread (0 = default)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		fullScale = flag.Bool("fullscale", false, "use unscaled Table I SRAM sizes")
+	)
+	flag.Parse()
+
+	cfg := allarm.ExperimentConfig()
+	if *fullScale {
+		cfg = allarm.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	if *accesses > 0 {
+		cfg.AccessesPerThread = *accesses
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = allarm.ExperimentIDs
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", id)
+		if err := allarm.RunExperiment(os.Stdout, cfg, id); err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,121 @@
+// Command allarm-sim runs a single simulation of one benchmark under one
+// policy and prints its metrics.
+//
+// Usage:
+//
+//	allarm-sim -bench ocean-cont -policy allarm -accesses 60000
+//	allarm-sim -bench barnes -pair            # baseline vs ALLARM
+//	allarm-sim -list                          # available benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	allarm "allarm"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "ocean-cont", "benchmark name")
+		policy    = flag.String("policy", "baseline", "baseline or allarm")
+		pair      = flag.Bool("pair", false, "run both policies and compare")
+		accesses  = flag.Int("accesses", 0, "accesses per thread (0 = default)")
+		threads   = flag.Int("threads", 0, "thread count (0 = default 16)")
+		pfKiB     = flag.Int("pf", 0, "probe filter coverage in KiB (0 = default 512)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		check     = flag.Bool("check", false, "enable the coherence invariant checker")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		multi     = flag.Int("multi", 0, "run N single-threaded copies instead (Figure 4 mode)")
+		fullScale = flag.Bool("fullscale", false, "use unscaled Table I SRAM sizes")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(allarm.Benchmarks(), "\n"))
+		return
+	}
+
+	cfg := allarm.ExperimentConfig()
+	if *fullScale {
+		cfg = allarm.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	cfg.CheckInvariants = *check
+	if *accesses > 0 {
+		cfg.AccessesPerThread = *accesses
+	}
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	if *pfKiB > 0 {
+		cfg.PFBytes = *pfKiB << 10
+	}
+
+	run := func(pol allarm.Policy) *allarm.Result {
+		cfg.Policy = pol
+		var res *allarm.Result
+		var err error
+		if *multi > 0 {
+			mp := allarm.DefaultMultiProcess()
+			mp.Copies = *multi
+			res, err = allarm.RunMultiProcess(cfg, mp, *bench)
+		} else {
+			res, err = allarm.Run(cfg, *bench)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	if *pair {
+		base := run(allarm.Baseline)
+		opt := run(allarm.ALLARM)
+		print1(base)
+		print1(opt)
+		c := allarm.Compare(base, opt)
+		fmt.Printf("speedup            %8.3fx\n", c.Speedup)
+		fmt.Printf("evictions ratio    %8.3f\n", c.EvictionRatio)
+		fmt.Printf("traffic ratio      %8.3f\n", c.TrafficRatio)
+		fmt.Printf("L2 miss ratio      %8.3f\n", c.L2MissRatio)
+		fmt.Printf("NoC energy ratio   %8.3f\n", c.NoCEnergyRatio)
+		fmt.Printf("PF energy ratio    %8.3f\n", c.PFEnergyRatio)
+		return
+	}
+
+	switch *policy {
+	case "baseline":
+		print1(run(allarm.Baseline))
+	case "allarm":
+		print1(run(allarm.ALLARM))
+	default:
+		fmt.Fprintf(os.Stderr, "allarm-sim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+}
+
+func print1(r *allarm.Result) {
+	fmt.Printf("%s [%s]\n", r.Benchmark, r.PolicyUsed)
+	fmt.Printf("  runtime          %12.1f us\n", r.RuntimeNs/1e3)
+	fmt.Printf("  accesses         %12d\n", r.Accesses)
+	fmt.Printf("  dir requests     %12d (local %.2f)\n",
+		r.LocalRequests+r.RemoteRequests, r.LocalFraction())
+	fmt.Printf("  PF allocs        %12d\n", r.PFAllocs)
+	fmt.Printf("  PF evictions     %12d (%.1f msgs/evict)\n",
+		r.PFEvictions, r.MessagesPerEviction())
+	tot := r.Raw().Totals()
+	fmt.Printf("  evict live hits  %12d of %d probes; probe hits at caches %d\n",
+		tot.EvictionHits, tot.EvictionProbes, tot.Invalidations)
+	fmt.Printf("  L2 misses        %12d\n", r.L2Misses)
+	fmt.Printf("  NoC traffic      %12d bytes (%d msgs)\n", r.NoCBytes, r.NoCMessages)
+	fmt.Printf("  energy NoC/PF    %12.1f / %.1f nJ\n", r.NoCEnergyPJ/1e3, r.PFEnergyPJ/1e3)
+	if r.PolicyUsed == allarm.ALLARM {
+		fmt.Printf("  untracked fills  %12d\n", r.UntrackedGrants)
+		fmt.Printf("  local probes     %12d (%.2f hidden)\n",
+			r.LocalProbes, r.SnoopHiddenFraction())
+	}
+}

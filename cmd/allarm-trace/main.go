@@ -1,0 +1,88 @@
+// Command allarm-trace captures benchmark access traces to disk and
+// inspects or replays them.
+//
+// Usage:
+//
+//	allarm-trace -gen -bench barnes -o barnes.trace -accesses 10000
+//	allarm-trace -info barnes.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"allarm/internal/trace"
+	"allarm/internal/workload"
+)
+
+func main() {
+	var (
+		gen      = flag.Bool("gen", false, "capture a benchmark trace")
+		info     = flag.String("info", "", "print a trace file's summary")
+		bench    = flag.String("bench", "barnes", "benchmark to capture")
+		out      = flag.String("o", "out.trace", "output path for -gen")
+		threads  = flag.Int("threads", 16, "thread count")
+		accesses = flag.Int("accesses", 10000, "accesses per thread")
+		seed     = flag.Uint64("seed", 1, "stream seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		wl, err := workload.Benchmark(*bench, *threads, *accesses)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Capture(w, wl, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d records (%d threads)\n", *out, w.Records(), *threads)
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		var records, writes uint64
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			records++
+			if rec.Access.Write {
+				writes++
+			}
+		}
+		fmt.Printf("%s: %d threads, %d records, %.1f%% writes\n",
+			*info, r.Threads(), records, 100*float64(writes)/float64(records))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "allarm-trace:", err)
+	os.Exit(1)
+}

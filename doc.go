@@ -1,0 +1,26 @@
+// Package allarm is a simulation library reproducing "ALLARM: Optimizing
+// Sparse Directories for Thread-Local Data" (Roy & Jones, DATE 2014).
+//
+// ALLARM (ALLocAte on Remote Miss) is a probe-filter allocation policy
+// for NUMA cache-coherent systems: directory entries are allocated only
+// when the requester is in a different affinity domain from the home
+// directory. Under first-touch NUMA page placement, thread-local data is
+// homed locally, so it consumes no directory state and generates no
+// coherence traffic. Remote misses additionally probe the home's own
+// core — in parallel with the DRAM access — to find untracked copies.
+//
+// The package front-ends a complete machine model (16-node 4×4 mesh,
+// private L1/L2 per node, Hammer-style coherence with per-node probe
+// filters, one memory controller per node) plus synthetic SPLASH2/Parsec
+// workload models, and exposes runners for every experiment in the
+// paper's evaluation:
+//
+//	cfg := allarm.DefaultConfig()          // Table I parameters
+//	base, opt, err := allarm.RunPair(cfg, "ocean-cont")
+//	if err != nil { ... }
+//	cmp := allarm.Compare(base, opt)
+//	fmt.Printf("speedup %.2fx, evictions ×%.2f\n", cmp.Speedup, cmp.EvictionRatio)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package allarm

@@ -1,0 +1,41 @@
+// pfsweep reproduces the spirit of Figure 3h: how far can the probe
+// filter shrink before each policy starts losing performance? ALLARM's
+// answer — much further, because thread-local data needs no entries — is
+// the paper's area-saving argument (§III-B's table).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	allarm "allarm"
+)
+
+func main() {
+	cfg := allarm.ExperimentConfig()
+	cfg.AccessesPerThread = 30_000
+	bench := "barnes"
+
+	ref, err := allarm.Run(cfg, bench) // full-size baseline reference
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: runtime vs probe-filter size (normalised to %dkB baseline)\n",
+		bench, cfg.PFBytes>>10)
+	fmt.Println("PF size   baseline   ALLARM")
+	for _, div := range []int{1, 2, 4} {
+		row := fmt.Sprintf("%5dkB", cfg.PFBytes>>10/div)
+		for _, pol := range []allarm.Policy{allarm.Baseline, allarm.ALLARM} {
+			c := cfg
+			c.Policy = pol
+			c.PFBytes = cfg.PFBytes / div
+			res, err := allarm.Run(c, bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("   %6.3f", ref.RuntimeNs/res.RuntimeNs)
+		}
+		fmt.Println(row)
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: run one benchmark under both directory policies and print
+// the paper's headline normalised metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	allarm "allarm"
+)
+
+func main() {
+	cfg := allarm.ExperimentConfig()
+	cfg.AccessesPerThread = 30_000 // keep the example snappy
+
+	base, opt, err := allarm.RunPair(cfg, "ocean-cont")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := allarm.Compare(base, opt)
+	fmt.Println("ocean-cont, 16 threads, baseline vs ALLARM")
+	fmt.Printf("  speedup                 %.3fx\n", c.Speedup)
+	fmt.Printf("  probe-filter evictions  %d -> %d (x%.2f)\n",
+		base.PFEvictions, opt.PFEvictions, c.EvictionRatio)
+	fmt.Printf("  NoC traffic             %.1f -> %.1f MB (x%.2f)\n",
+		float64(base.NoCBytes)/1e6, float64(opt.NoCBytes)/1e6, c.TrafficRatio)
+	fmt.Printf("  L2 misses               %d -> %d (x%.2f)\n",
+		base.L2Misses, opt.L2Misses, c.L2MissRatio)
+	fmt.Printf("  PF dynamic energy       x%.2f\n", c.PFEnergyRatio)
+	fmt.Printf("  thread-local fills with no directory state: %d\n",
+		opt.UntrackedGrants)
+	fmt.Printf("  local probes hidden off the critical path:  %.0f%%\n",
+		100*opt.SnoopHiddenFraction())
+}

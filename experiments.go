@@ -1,0 +1,285 @@
+package allarm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"allarm/internal/energy"
+	"allarm/internal/stats"
+)
+
+// Experiment identifiers accepted by RunExperiment (one per table/figure
+// of the paper).
+var ExperimentIDs = []string{
+	"table1",
+	"fig2",
+	"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
+	"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+	"area",
+}
+
+// PairResults is the per-benchmark baseline/ALLARM pair of a sweep.
+type PairResults struct {
+	Benchmark string
+	Base, Opt *Result
+}
+
+// RunAllPairs runs every benchmark under both policies at the given
+// configuration.
+func RunAllPairs(cfg Config) ([]PairResults, error) {
+	var out []PairResults
+	for _, b := range Benchmarks() {
+		base, opt, err := RunPair(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PairResults{Benchmark: b, Base: base, Opt: opt})
+	}
+	return out, nil
+}
+
+// RunExperiment regenerates one of the paper's tables or figures at the
+// given configuration, writing the series the paper plots to w.
+// Unknown ids return an error listing the valid ones.
+func RunExperiment(w io.Writer, cfg Config, id string) error {
+	switch id {
+	case "table1":
+		return expTable1(w, cfg)
+	case "fig2":
+		return expFig2(w, cfg)
+	case "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g":
+		return expFig3(w, cfg, id)
+	case "fig3h":
+		return expFig3h(w, cfg)
+	case "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f":
+		return expFig4(w, cfg, id)
+	case "area":
+		return expArea(w)
+	default:
+		ids := make([]string, len(ExperimentIDs))
+		copy(ids, ExperimentIDs)
+		sort.Strings(ids)
+		return fmt.Errorf("allarm: unknown experiment %q (have %v)", id, ids)
+	}
+}
+
+// expTable1 prints the simulated-system parameters (Table I), both the
+// paper's values (DefaultConfig) and the harness scale actually used.
+func expTable1(w io.Writer, cfg Config) error {
+	t := stats.NewTable("Parameter", "Table I", "This run")
+	d := DefaultConfig()
+	row := func(name, paper, run string) { t.AddRow(name, paper, run) }
+	row("Cores", fmt.Sprint(d.Nodes), fmt.Sprint(cfg.Nodes))
+	row("Block size", "64 bytes", "64 bytes")
+	row("L1 DCache", fmt.Sprintf("%dkB %d-way", d.L1Bytes>>10, d.L1Ways), fmt.Sprintf("%dkB %d-way", cfg.L1Bytes>>10, cfg.L1Ways))
+	row("L2 Cache", fmt.Sprintf("%dkB %d-way (exclusive)", d.L2Bytes>>10, d.L2Ways), fmt.Sprintf("%dkB %d-way (exclusive)", cfg.L2Bytes>>10, cfg.L2Ways))
+	row("Directory coverage", fmt.Sprintf("%dkB cached data", d.PFBytes>>10), fmt.Sprintf("%dkB cached data", cfg.PFBytes>>10))
+	row("Cache/dir latency", fmt.Sprintf("%gns/%gns", d.CacheNs, d.DirNs), fmt.Sprintf("%gns/%gns", cfg.CacheNs, cfg.DirNs))
+	row("Memory", fmt.Sprintf("%d x %dMB, %gns", d.Nodes, d.MemMiBPerNode, d.DRAMNs), fmt.Sprintf("%d x %dMB, %gns", cfg.Nodes, cfg.MemMiBPerNode, cfg.DRAMNs))
+	row("Topology", fmt.Sprintf("%dx%d mesh", d.MeshW, d.MeshH), fmt.Sprintf("%dx%d mesh", cfg.MeshW, cfg.MeshH))
+	row("Flit size", fmt.Sprintf("%d bytes", d.FlitBytes), fmt.Sprintf("%d bytes", cfg.FlitBytes))
+	row("Control/Data msg", fmt.Sprintf("%d/%d bytes", d.CtrlMsgBytes, d.DataMsgBytes), fmt.Sprintf("%d/%d bytes", cfg.CtrlMsgBytes, cfg.DataMsgBytes))
+	row("Link BW/latency", fmt.Sprintf("%g GB/s, %gns", d.LinkBytesPerNs, d.LinkNs), fmt.Sprintf("%g GB/s, %gns", cfg.LinkBytesPerNs, cfg.LinkNs))
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// expFig2 prints the local/remote directory-request split per benchmark.
+func expFig2(w io.Writer, cfg Config) error {
+	t := stats.NewTable("Benchmark", "Local", "Remote")
+	for _, b := range Benchmarks() {
+		cfg.Policy = Baseline
+		res, err := Run(cfg, b)
+		if err != nil {
+			return err
+		}
+		lf := res.LocalFraction()
+		t.AddRow(b, fmt.Sprintf("%.3f", lf), fmt.Sprintf("%.3f", 1-lf))
+	}
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// expFig3 prints one of the Figure 3 per-benchmark bar charts.
+func expFig3(w io.Writer, cfg Config, id string) error {
+	pairs, err := RunAllPairs(cfg)
+	if err != nil {
+		return err
+	}
+	switch id {
+	case "fig3a", "fig3b", "fig3c", "fig3e":
+		name := map[string]string{
+			"fig3a": "Speedup", "fig3b": "Norm. PF evictions",
+			"fig3c": "Norm. NoC traffic", "fig3e": "Norm. L2 misses",
+		}[id]
+		t := stats.NewTable("Benchmark", name)
+		var vals []float64
+		for _, p := range pairs {
+			c := Compare(p.Base, p.Opt)
+			v := map[string]float64{
+				"fig3a": c.Speedup, "fig3b": c.EvictionRatio,
+				"fig3c": c.TrafficRatio, "fig3e": c.L2MissRatio,
+			}[id]
+			// A benchmark whose ALLARM run has zero evictions plots as 0.
+			vals = append(vals, v)
+			t.AddRow(p.Benchmark, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow("geomean", fmt.Sprintf("%.3f", geomeanNonZero(vals)))
+		_, err := fmt.Fprint(w, t.String())
+		return err
+	case "fig3d":
+		t := stats.NewTable("Benchmark", "Msgs/eviction (base)", "Msgs/eviction (allarm)")
+		for _, p := range pairs {
+			t.AddRow(p.Benchmark,
+				fmt.Sprintf("%.1f", p.Base.MessagesPerEviction()),
+				fmt.Sprintf("%.1f", p.Opt.MessagesPerEviction()))
+		}
+		_, err := fmt.Fprint(w, t.String())
+		return err
+	case "fig3f":
+		t := stats.NewTable("Benchmark", "NoC energy", "PF energy")
+		var noc, pf []float64
+		for _, p := range pairs {
+			c := Compare(p.Base, p.Opt)
+			noc = append(noc, c.NoCEnergyRatio)
+			pf = append(pf, c.PFEnergyRatio)
+			t.AddRow(p.Benchmark, fmt.Sprintf("%.3f", c.NoCEnergyRatio), fmt.Sprintf("%.3f", c.PFEnergyRatio))
+		}
+		t.AddRow("geomean", fmt.Sprintf("%.3f", stats.Geomean(noc)), fmt.Sprintf("%.3f", stats.Geomean(pf)))
+		_, err := fmt.Fprint(w, t.String())
+		return err
+	case "fig3g":
+		t := stats.NewTable("Benchmark", "Fraction snoop off critical path")
+		var vals []float64
+		for _, p := range pairs {
+			f := p.Opt.SnoopHiddenFraction()
+			vals = append(vals, f)
+			t.AddRow(p.Benchmark, fmt.Sprintf("%.3f", f))
+		}
+		t.AddRow("mean", fmt.Sprintf("%.3f", stats.Mean(vals)))
+		_, err := fmt.Fprint(w, t.String())
+		return err
+	}
+	return fmt.Errorf("allarm: bad fig3 id %q", id)
+}
+
+// geomeanNonZero takes the geometric mean of the positive entries
+// (benchmarks where ALLARM eliminates evictions entirely plot as zero and
+// cannot enter a geomean, as in the paper's figures).
+func geomeanNonZero(xs []float64) float64 {
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	return stats.Geomean(pos)
+}
+
+// fig3hSizes are the probe-filter coverages of Figure 3h, expressed as
+// fractions of the configured size (the paper: 512/256/128 kB).
+var fig3hSizes = []int{1, 2, 4}
+
+// expFig3h prints speedup (vs the full-size baseline) per benchmark for
+// shrinking probe filters under ALLARM.
+func expFig3h(w io.Writer, cfg Config) error {
+	header := []string{"Benchmark"}
+	for _, div := range fig3hSizes {
+		header = append(header, fmt.Sprintf("%dkB", cfg.PFBytes>>10/div))
+	}
+	t := stats.NewTable(header...)
+	for _, b := range Benchmarks() {
+		c := cfg
+		c.Policy = Baseline
+		ref, err := Run(c, b)
+		if err != nil {
+			return err
+		}
+		row := []string{b}
+		for _, div := range fig3hSizes {
+			c := cfg
+			c.Policy = ALLARM
+			c.PFBytes = cfg.PFBytes / div
+			res, err := Run(c, b)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.3f", ref.RuntimeNs/res.RuntimeNs))
+		}
+		t.AddRow(row...)
+	}
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// fig4Divisors shrink the probe filter for the multi-process experiment
+// (the paper: 512, 256, 128, 64, 32 kB).
+var fig4Divisors = []int{1, 2, 4, 8, 16}
+
+// expFig4 prints one multi-process panel: speedup / normalised evictions
+// / normalised traffic versus probe-filter size, for the baseline
+// (fig4a-c) or ALLARM (fig4d-f), normalised to the full-size baseline.
+func expFig4(w io.Writer, cfg Config, id string) error {
+	policy := Baseline
+	if id == "fig4d" || id == "fig4e" || id == "fig4f" {
+		policy = ALLARM
+	}
+	metric := map[string]string{
+		"fig4a": "speedup", "fig4b": "evictions", "fig4c": "traffic",
+		"fig4d": "speedup", "fig4e": "evictions", "fig4f": "traffic",
+	}[id]
+
+	header := []string{"Benchmark"}
+	for _, div := range fig4Divisors {
+		header = append(header, fmt.Sprintf("%dkB", cfg.PFBytes>>10/div))
+	}
+	t := stats.NewTable(header...)
+	mp := DefaultMultiProcess()
+	for _, b := range MultiProcessBenchmarks() {
+		// Reference: full-size probe filter, baseline policy.
+		c := cfg
+		c.Policy = Baseline
+		ref, err := RunMultiProcess(c, mp, b)
+		if err != nil {
+			return err
+		}
+		row := []string{b}
+		for _, div := range fig4Divisors {
+			c := cfg
+			c.Policy = policy
+			c.PFBytes = cfg.PFBytes / div
+			res, err := RunMultiProcess(c, mp, b)
+			if err != nil {
+				return err
+			}
+			var v float64
+			switch metric {
+			case "speedup":
+				v = ref.RuntimeNs / res.RuntimeNs
+			case "evictions":
+				v = stats.SafeDiv(float64(res.PFEvictions), float64(ref.PFEvictions), 0)
+			case "traffic":
+				v = stats.SafeDiv(float64(res.NoCBytes), float64(ref.NoCBytes), 0)
+			}
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow(row...)
+	}
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// expArea prints the probe-filter area table (§III-B), paper versus the
+// calibrated power-law model.
+func expArea(w io.Writer) error {
+	t := stats.NewTable("PF Configuration", "Paper (mm2)", "Model (mm2)")
+	for _, kb := range []int{512, 256, 128, 64, 32} {
+		bytes := kb << 10
+		t.AddRow(fmt.Sprintf("%dkB", kb),
+			fmt.Sprintf("%.2f", energy.PaperPFAreaMM2(bytes)),
+			fmt.Sprintf("%.2f", energy.PFAreaMM2(bytes)))
+	}
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}

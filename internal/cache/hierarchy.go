@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"fmt"
+
+	"allarm/internal/mem"
+)
+
+// AccessOutcome classifies a core access against the private hierarchy.
+type AccessOutcome uint8
+
+const (
+	// Hit means the access completed in L1 or L2 with no coherence action.
+	Hit AccessOutcome = iota
+	// UpgradeMiss means a readable copy is present (S or O) but a store
+	// needs ownership: issue GetM, no data fill strictly required.
+	UpgradeMiss
+	// Miss means no usable copy is present: issue GetS or GetM.
+	Miss
+)
+
+// String implements fmt.Stringer.
+func (o AccessOutcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case UpgradeMiss:
+		return "upgrade-miss"
+	case Miss:
+		return "miss"
+	default:
+		return fmt.Sprintf("AccessOutcome(%d)", uint8(o))
+	}
+}
+
+// Victim describes a line evicted from the hierarchy that may need a
+// coherence action: PutM (dirty writeback) or PutE (clean-exclusive
+// notification, the paper's "already optimized" baseline); shared victims
+// are dropped silently because Hammer does not track sharers.
+type Victim struct {
+	Addr      mem.PAddr
+	State     State
+	Untracked bool
+	Version   uint64
+}
+
+// HierStats counts hierarchy-level events.
+type HierStats struct {
+	Accesses  uint64
+	L1Hits    uint64
+	L2Hits    uint64 // L1 miss, L2 hit (line swapped up)
+	Misses    uint64 // missed both levels (includes upgrade misses)
+	Upgrades  uint64
+	ProbeHits uint64 // coherence probes that found the line
+}
+
+// Hierarchy is one node's private cache hierarchy: an L1 data cache backed
+// by an exclusive L2 (a line lives in exactly one of the two levels, the
+// organisation in Table I of the paper). A single coherence controller
+// fronts the pair, so probes and fills see both levels.
+type Hierarchy struct {
+	l1    *Cache
+	l2    *Cache
+	stats HierStats
+}
+
+// NewHierarchy builds the private hierarchy with the given capacities and
+// associativities.
+func NewHierarchy(l1Bytes, l1Ways, l2Bytes, l2Ways int) *Hierarchy {
+	return &Hierarchy{
+		l1: New("L1D", l1Bytes, l1Ways),
+		l2: New("L2", l2Bytes, l2Ways),
+	}
+}
+
+// L1 exposes the L1 cache (read-only use expected: stats, tests).
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 exposes the L2 cache (read-only use expected: stats, tests).
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Stats returns a copy of hierarchy statistics.
+func (h *Hierarchy) Stats() HierStats { return h.stats }
+
+// AccessResult reports how an access resolved against the hierarchy.
+type AccessResult struct {
+	Outcome AccessOutcome
+	// Level is 1 for an L1 hit, 2 for an L2 hit (including upgrade misses
+	// that found the line) and 0 for a full miss. It drives hit latency.
+	Level int
+	// Victims are lines evicted by an L2→L1 swap that need coherence
+	// actions.
+	Victims []Victim
+}
+
+// Access classifies a load (write=false) or store (write=true) to lineAddr
+// and performs all hit-path state updates:
+//
+//   - L1 hit: LRU update; stores in E silently upgrade to M.
+//   - L2 hit: the line is swapped into L1; the L1 victim moves to L2. The
+//     swap can evict an L2 victim, returned for coherence handling.
+//   - S/O hit on a store: UpgradeMiss (GetM required, line retained).
+//   - otherwise: Miss.
+//
+// On Miss and UpgradeMiss the caller must complete the coherence
+// transaction and then call Fill.
+func (h *Hierarchy) Access(lineAddr mem.PAddr, write bool) AccessResult {
+	lineAddr = mem.LineOf(lineAddr)
+	h.stats.Accesses++
+
+	if l := h.l1.Lookup(lineAddr); l != nil {
+		out, more := h.hitPathNoCount(l, write)
+		h.countHit(out, 1)
+		return AccessResult{Outcome: out, Level: 1, Victims: more}
+	}
+	if l2line := h.l2.Peek(lineAddr); l2line != nil {
+		// Exclusive hierarchy: move the line up to L1, demote the L1
+		// victim to L2.
+		moved, _ := h.l2.Remove(lineAddr)
+		victims := h.insertL1(moved)
+		l := h.l1.Lookup(lineAddr)
+		if l == nil {
+			panic("cache: line vanished during L2→L1 swap")
+		}
+		out, more := h.hitPathNoCount(l, write)
+		h.countHit(out, 2)
+		return AccessResult{Outcome: out, Level: 2, Victims: append(victims, more...)}
+	}
+	h.stats.Misses++
+	return AccessResult{Outcome: Miss}
+}
+
+func (h *Hierarchy) countHit(out AccessOutcome, level int) {
+	if out == Hit {
+		if level == 1 {
+			h.stats.L1Hits++
+		} else {
+			h.stats.L2Hits++
+		}
+	} else {
+		h.stats.Misses++
+		h.stats.Upgrades++
+	}
+}
+
+// hitPathNoCount applies store-upgrade rules to a present line.
+func (h *Hierarchy) hitPathNoCount(l *Line, write bool) (AccessOutcome, []Victim) {
+	if !write {
+		return Hit, nil
+	}
+	switch l.State {
+	case Modified:
+		return Hit, nil
+	case Exclusive:
+		l.State = Modified // silent E→M upgrade
+		return Hit, nil
+	case Shared, Owned:
+		return UpgradeMiss, nil
+	default:
+		panic("cache: invalid state on hit path")
+	}
+}
+
+// insertL1 inserts a line into L1, demoting any L1 victim into L2 and
+// returning L2 victims that require coherence actions.
+func (h *Hierarchy) insertL1(line Line) []Victim {
+	var victims []Victim
+	if v, evicted := h.l1.Insert(line); evicted {
+		if v2, evicted2 := h.l2.Insert(v); evicted2 {
+			if v2.State == Shared {
+				// Silent drop; Hammer directories do not track sharers.
+			} else {
+				victims = append(victims, Victim{
+					Addr: v2.Addr, State: v2.State,
+					Untracked: v2.Untracked, Version: v2.Version,
+				})
+			}
+		}
+	}
+	return victims
+}
+
+// Fill completes a miss: the granted line enters L1 with the given state
+// and data version. For upgrade grants where the line is still present,
+// the state is updated in place. Victims evicted to make room are
+// returned.
+func (h *Hierarchy) Fill(lineAddr mem.PAddr, st State, untracked bool, version uint64) []Victim {
+	lineAddr = mem.LineOf(lineAddr)
+	if l := h.l1.Peek(lineAddr); l != nil {
+		l.State = st
+		l.Untracked = untracked
+		l.Version = version
+		return nil
+	}
+	if l := h.l2.Peek(lineAddr); l != nil {
+		// Upgrade grant while the line sat in L2: promote to L1.
+		moved, _ := h.l2.Remove(lineAddr)
+		moved.State = st
+		moved.Untracked = untracked
+		moved.Version = version
+		return h.insertL1(moved)
+	}
+	return h.insertL1(Line{Addr: lineAddr, State: st, Untracked: untracked, Version: version})
+}
+
+// ProbeState reports the current state of lineAddr without side effects.
+func (h *Hierarchy) ProbeState(lineAddr mem.PAddr) State {
+	if l := h.PeekLine(lineAddr); l != nil {
+		return l.State
+	}
+	return Invalid
+}
+
+// PeekLine returns the line's bookkeeping from whichever level holds it,
+// or nil, without LRU side effects.
+func (h *Hierarchy) PeekLine(lineAddr mem.PAddr) *Line {
+	lineAddr = mem.LineOf(lineAddr)
+	if l := h.l1.Peek(lineAddr); l != nil {
+		return l
+	}
+	return h.l2.Peek(lineAddr)
+}
+
+// Invalidate removes lineAddr from the hierarchy (a coherence
+// invalidation), returning the state it held (Invalid if absent) and
+// whether the line's data was dirty.
+func (h *Hierarchy) Invalidate(lineAddr mem.PAddr) (State, bool) {
+	lineAddr = mem.LineOf(lineAddr)
+	if l, ok := h.l1.Remove(lineAddr); ok {
+		h.l1.noteInvalidation()
+		h.stats.ProbeHits++
+		return l.State, l.State.Dirty()
+	}
+	if l, ok := h.l2.Remove(lineAddr); ok {
+		h.l2.noteInvalidation()
+		h.stats.ProbeHits++
+		return l.State, l.State.Dirty()
+	}
+	return Invalid, false
+}
+
+// Downgrade moves lineAddr to the target shared-side state in response to
+// a read probe: M→O, E→S, O and S unchanged. It returns the state held
+// before the probe (Invalid if absent).
+func (h *Hierarchy) Downgrade(lineAddr mem.PAddr) State {
+	lineAddr = mem.LineOf(lineAddr)
+	l := h.l1.Peek(lineAddr)
+	if l == nil {
+		l = h.l2.Peek(lineAddr)
+	}
+	if l == nil {
+		return Invalid
+	}
+	h.stats.ProbeHits++
+	prev := l.State
+	switch l.State {
+	case Modified:
+		l.State = Owned
+	case Exclusive:
+		l.State = Shared
+	}
+	return prev
+}
+
+// SetTracked clears the untracked mark on a line after the home directory
+// allocates an entry for it (ALLARM remote-miss discovery). No-op when the
+// line is absent.
+func (h *Hierarchy) SetTracked(lineAddr mem.PAddr) {
+	lineAddr = mem.LineOf(lineAddr)
+	if l := h.l1.Peek(lineAddr); l != nil {
+		l.Untracked = false
+		return
+	}
+	if l := h.l2.Peek(lineAddr); l != nil {
+		l.Untracked = false
+	}
+}
+
+// ResetStats zeroes hierarchy and per-level counters, keeping contents.
+func (h *Hierarchy) ResetStats() {
+	h.stats = HierStats{}
+	h.l1.ResetStats()
+	h.l2.ResetStats()
+}
+
+// ForEachValid visits every valid line in both levels.
+func (h *Hierarchy) ForEachValid(fn func(Line)) {
+	h.l1.ForEachValid(fn)
+	h.l2.ForEachValid(fn)
+}

@@ -1,0 +1,294 @@
+package coherence
+
+import (
+	"fmt"
+
+	"allarm/internal/cache"
+	"allarm/internal/mem"
+	"allarm/internal/sim"
+)
+
+// CtrlStats counts cache-controller events.
+type CtrlStats struct {
+	Requests     uint64 // GetS/GetM sent
+	Fills        uint64
+	ProbesServed uint64
+	PutMs        uint64
+	PutEs        uint64
+	// UntrackedFills counts ALLARM fills granted without a probe-filter
+	// entry (thread-local service path).
+	UntrackedFills uint64
+}
+
+// CacheCtrl is one node's cache-side coherence controller, fronting the
+// private L1/L2 hierarchy. It services core accesses (one outstanding
+// demand miss, matching the in-order cores of the evaluated system) and
+// answers coherence probes.
+type CacheCtrl struct {
+	node mem.NodeID
+	hier *cache.Hierarchy
+	eng  *sim.Engine
+	port Port
+	home func(mem.PAddr) mem.NodeID
+
+	// serviceTime is the tag/data array occupancy per operation (Table I:
+	// 1 ns cache access latency); probes and demand accesses contend for
+	// it through nextFree.
+	serviceTime sim.Time
+	nextFree    sim.Time
+
+	pending *mshr
+
+	// OnStore and OnLoad, when non-nil, observe every committed store
+	// (with the line's new version) and completed load (with the version
+	// read). The system's invariant checker uses them; they are nil in
+	// performance runs.
+	OnStore func(addr mem.PAddr, version uint64)
+	OnLoad  func(addr mem.PAddr, version uint64)
+
+	stats CtrlStats
+}
+
+// mshr is the single outstanding demand miss.
+type mshr struct {
+	addr   mem.PAddr
+	write  bool
+	issued sim.Time
+	done   func(now sim.Time)
+}
+
+// NewCacheCtrl builds a controller for node over hier, sending messages
+// through port and resolving line homes with home.
+func NewCacheCtrl(node mem.NodeID, hier *cache.Hierarchy, eng *sim.Engine, port Port, home func(mem.PAddr) mem.NodeID, serviceTime sim.Time) *CacheCtrl {
+	return &CacheCtrl{
+		node:        node,
+		hier:        hier,
+		eng:         eng,
+		port:        port,
+		home:        home,
+		serviceTime: serviceTime,
+	}
+}
+
+// Node returns the controller's node ID.
+func (c *CacheCtrl) Node() mem.NodeID { return c.node }
+
+// Hierarchy exposes the private caches (stats, invariant checks).
+func (c *CacheCtrl) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Stats returns a copy of the controller statistics.
+func (c *CacheCtrl) Stats() CtrlStats { return c.stats }
+
+// HasPending reports whether a demand miss is outstanding (test helper).
+func (c *CacheCtrl) HasPending() bool { return c.pending != nil }
+
+// ResetStats zeroes the controller and hierarchy counters, keeping cache
+// contents (measurement begins after warmup).
+func (c *CacheCtrl) ResetStats() {
+	c.stats = CtrlStats{}
+	c.hier.ResetStats()
+}
+
+// occupy reserves the tag/data arrays for one operation starting no
+// earlier than now and returns the operation's completion time.
+func (c *CacheCtrl) occupy(now sim.Time) sim.Time {
+	start := now
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	c.nextFree = start + c.serviceTime
+	return c.nextFree
+}
+
+// CoreAccess performs a demand load (write=false) or store (write=true)
+// to addr. done runs when the access completes (hit latency for hits; the
+// full coherence transaction for misses). At most one access may be
+// outstanding.
+func (c *CacheCtrl) CoreAccess(now sim.Time, addr mem.PAddr, write bool, done func(now sim.Time)) {
+	if c.pending != nil {
+		panic(fmt.Sprintf("coherence: node %d issued a second outstanding access", c.node))
+	}
+	addr = mem.LineOf(addr)
+	t := c.occupy(now)
+	res := c.hier.Access(addr, write)
+	if res.Level == 2 {
+		t = c.occupy(t) // second array access for the L2 swap
+	}
+	c.sendPuts(res.Victims)
+
+	if res.Outcome == cache.Hit {
+		l := c.hier.PeekLine(addr)
+		if l == nil {
+			panic("coherence: hit without a line")
+		}
+		if write {
+			if !l.State.Writable() {
+				panic("coherence: store hit without writable line")
+			}
+			l.Version++
+			if c.OnStore != nil {
+				c.OnStore(addr, l.Version)
+			}
+		} else if c.OnLoad != nil {
+			c.OnLoad(addr, l.Version)
+		}
+		c.eng.At(t, done)
+		return
+	}
+
+	op := GetS
+	if write {
+		op = GetM
+	}
+	c.pending = &mshr{addr: addr, write: write, issued: now, done: done}
+	c.stats.Requests++
+	c.port.Send(&Msg{
+		Op: op, Addr: addr, Src: c.node, Dst: c.home(addr), ToDir: true,
+	})
+}
+
+// HandleMsg processes a message delivered to this node's cache controller.
+func (c *CacheCtrl) HandleMsg(now sim.Time, m *Msg) {
+	switch m.Op {
+	case DataMsg:
+		c.handleFill(now, m)
+	case PrbInv, PrbDown, PrbLocal:
+		c.handleProbe(now, m)
+	default:
+		panic(fmt.Sprintf("coherence: cache controller received %v", m))
+	}
+}
+
+func (c *CacheCtrl) handleFill(now sim.Time, m *Msg) {
+	p := c.pending
+	if p == nil || p.addr != m.Addr {
+		panic(fmt.Sprintf("coherence: node %d fill %v without matching MSHR", c.node, m))
+	}
+	c.pending = nil
+	c.stats.Fills++
+	if m.Untracked {
+		c.stats.UntrackedFills++
+	}
+	t := c.occupy(now)
+
+	version := m.Version
+	// An upgrade grant can race a stale-but-older DRAM copy: if we still
+	// hold the line with newer data (we were the O-state owner asking for
+	// ownership), our version wins.
+	if l := c.hier.PeekLine(m.Addr); l != nil && l.Version > version {
+		version = l.Version
+	}
+	grant := m.Grant
+	if p.write {
+		if !grant.Writable() {
+			panic(fmt.Sprintf("coherence: store fill granted non-writable state %v", grant))
+		}
+		grant = cache.Modified
+		version++ // the store commits into the filled line
+	}
+	victims := c.hier.Fill(m.Addr, grant, m.Untracked, version)
+	c.sendPuts(victims)
+	if p.write {
+		if c.OnStore != nil {
+			c.OnStore(m.Addr, version)
+		}
+	} else if c.OnLoad != nil {
+		c.OnLoad(m.Addr, version)
+	}
+
+	// Close the transaction at the home (AMD Hammer's SrcDone): the home
+	// keeps the line busy until this arrives, which guarantees any probe
+	// we receive for a line with a pending MSHR belongs to an older
+	// transaction and can be answered from current state.
+	c.port.Send(&Msg{
+		Op: CmpAck, Addr: m.Addr, Src: c.node, Dst: c.home(m.Addr), ToDir: true,
+		TxnID: m.TxnID,
+	})
+	c.eng.At(t, p.done)
+}
+
+// handleProbe answers PrbInv / PrbDown / PrbLocal after queueing for the
+// arrays. Owner states (M, O, E) forward data directly to m.ForwardTo
+// when set; dirty data with no forward destination returns to the home
+// for DRAM writeback (back-invalidation).
+func (c *CacheCtrl) handleProbe(now sim.Time, m *Msg) {
+	t := c.occupy(now)
+	if m.Op == PrbLocal {
+		// ALLARM's state query walks both private levels (L1 and L2 tag
+		// arrays), stealing a second cycle of array bandwidth from the
+		// local core — the "modest overhead" of §III-A1.
+		t = c.occupy(t)
+	}
+	c.stats.ProbesServed++
+
+	invalidate := m.Op == PrbInv || (m.Op == PrbLocal && m.Mode == GetM)
+
+	var prev cache.State
+	var version uint64
+	if l := c.hier.PeekLine(m.Addr); l != nil {
+		prev = l.State
+		version = l.Version
+	}
+
+	owner := prev == cache.Modified || prev == cache.Owned || prev == cache.Exclusive
+	dirty := prev.Dirty()
+
+	if invalidate {
+		c.hier.Invalidate(m.Addr)
+	} else {
+		c.hier.Downgrade(m.Addr)
+	}
+
+	ack := &Msg{
+		Op: Ack, Addr: m.Addr, Src: c.node, Dst: m.Src, ToDir: true,
+		Hit: prev.Valid(), PrevState: prev, Version: version, TxnID: m.TxnID,
+	}
+	if owner && m.ForwardTo != NoNode {
+		// Cache-to-cache transfer straight to the requester.
+		c.sendAt(t, &Msg{
+			Op: DataMsg, Addr: m.Addr, Src: c.node, Dst: m.ForwardTo,
+			Grant: m.Grant, Version: version, TxnID: m.TxnID,
+		})
+	} else if owner && dirty {
+		// Back-invalidation (or downgrade) with no requester: dirty data
+		// returns to the home for DRAM writeback.
+		ack.Op = AckData
+		ack.Dirty = true
+	}
+	c.sendAt(t, ack)
+}
+
+// sendAt injects m when the arrays release it (the controller's port is
+// modelled as available at service completion).
+func (c *CacheCtrl) sendAt(t sim.Time, m *Msg) {
+	if t <= c.eng.Now() {
+		c.port.Send(m)
+		return
+	}
+	c.eng.At(t, func(sim.Time) { c.port.Send(m) })
+}
+
+// sendPuts issues eviction notifications for hierarchy victims: PutM for
+// dirty lines (M/O), PutE for clean-exclusive lines. Victims of untracked
+// ALLARM lines are homed at this node, so these messages never cross the
+// NoC for thread-local data.
+func (c *CacheCtrl) sendPuts(victims []cache.Victim) {
+	for _, v := range victims {
+		switch v.State {
+		case cache.Modified, cache.Owned:
+			c.stats.PutMs++
+			c.port.Send(&Msg{
+				Op: PutM, Addr: v.Addr, Src: c.node, Dst: c.home(v.Addr), ToDir: true,
+				Dirty: true, Version: v.Version, PrevState: v.State,
+			})
+		case cache.Exclusive:
+			c.stats.PutEs++
+			c.port.Send(&Msg{
+				Op: PutE, Addr: v.Addr, Src: c.node, Dst: c.home(v.Addr), ToDir: true,
+				PrevState: v.State,
+			})
+		default:
+			panic(fmt.Sprintf("coherence: victim in unexpected state %v", v.State))
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"allarm/internal/mem"
+)
+
+func line(i int) mem.PAddr { return mem.PAddr(i * mem.LineBytes) }
+
+func TestProbeFilterLookupAllocRemove(t *testing.T) {
+	pf := NewProbeFilter(32<<10, 4) // 512 entries
+	if pf.Lookup(line(1)) != nil {
+		t.Fatal("lookup hit in empty filter")
+	}
+	if _, evicted, ok := pf.Alloc(line(1), EntryEM, 3, nil); !ok || evicted {
+		t.Fatal("alloc failed")
+	}
+	e := pf.Lookup(line(1))
+	if e == nil || e.State != EntryEM || e.Owner != 3 {
+		t.Fatalf("entry %+v", e)
+	}
+	if !pf.Remove(line(1)) {
+		t.Fatal("remove failed")
+	}
+	if pf.Remove(line(1)) {
+		t.Fatal("double remove succeeded")
+	}
+	s := pf.Stats()
+	if s.Allocs != 1 || s.Deallocs != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestProbeFilterEvictsLRU(t *testing.T) {
+	pf := NewProbeFilter(2*mem.LineBytes, 2) // 1 set, 2 ways
+	pf.Alloc(line(0), EntryEM, 0, nil)
+	pf.Alloc(line(1), EntryEM, 0, nil)
+	pf.Lookup(line(0)) // refresh
+	v, evicted, ok := pf.Alloc(line(2), EntryS, 0, nil)
+	if !ok || !evicted || v.Addr != line(1) {
+		t.Fatalf("victim %+v (evicted %v)", v, evicted)
+	}
+	if pf.Stats().Evictions != 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestProbeFilterSkipsBusyVictims(t *testing.T) {
+	pf := NewProbeFilter(2*mem.LineBytes, 2)
+	pf.Alloc(line(0), EntryEM, 0, nil)
+	pf.Alloc(line(1), EntryEM, 0, nil)
+	busy := func(a mem.PAddr) bool { return a == line(1) } // LRU one is busy
+	v, evicted, ok := pf.Alloc(line(2), EntryS, 0, busy)
+	if !ok || !evicted || v.Addr != line(0) {
+		t.Fatalf("victim %+v, want the non-busy line 0", v)
+	}
+}
+
+func TestProbeFilterAllWaysBusy(t *testing.T) {
+	pf := NewProbeFilter(2*mem.LineBytes, 2)
+	pf.Alloc(line(0), EntryEM, 0, nil)
+	pf.Alloc(line(1), EntryEM, 0, nil)
+	busy := func(mem.PAddr) bool { return true }
+	if _, _, ok := pf.Alloc(line(2), EntryS, 0, busy); ok {
+		t.Fatal("alloc succeeded with every way busy")
+	}
+	// Nothing changed.
+	if pf.Occupancy() != 2 || pf.Peek(line(2)) != nil {
+		t.Fatal("failed alloc mutated the filter")
+	}
+}
+
+func TestProbeFilterUpdate(t *testing.T) {
+	pf := NewProbeFilter(32<<10, 4)
+	pf.Alloc(line(5), EntryEM, 1, nil)
+	pf.Update(line(5), EntryO, 2)
+	e := pf.Peek(line(5))
+	if e.State != EntryO || e.Owner != 2 {
+		t.Fatalf("entry %+v", e)
+	}
+}
+
+func TestProbeFilterOccupancyInvariant(t *testing.T) {
+	pf := NewProbeFilter(4<<10, 4) // 64 entries
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			a := line(int(op % 256))
+			if pf.Peek(a) == nil {
+				pf.Alloc(a, EntryS, 0, nil)
+			} else if op%3 == 0 {
+				pf.Remove(a)
+			} else {
+				pf.Lookup(a)
+			}
+		}
+		// Occupancy bounded; no duplicate tags.
+		seen := map[mem.PAddr]bool{}
+		dup := false
+		pf.ForEachValid(func(e Entry) {
+			if seen[e.Addr] {
+				dup = true
+			}
+			seen[e.Addr] = true
+		})
+		return !dup && pf.Occupancy() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryStateString(t *testing.T) {
+	if EntryEM.String() != "EM" || EntryO.String() != "O" || EntryS.String() != "S" {
+		t.Fatal("EntryState.String wrong")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Baseline.String() != "baseline" || ALLARM.String() != "allarm" {
+		t.Fatal("Policy.String wrong")
+	}
+}
+
+func TestRangeSetNilEnablesAll(t *testing.T) {
+	var s *RangeSet
+	if !s.Enabled(0x1234) {
+		t.Fatal("nil set should enable everything")
+	}
+	empty, err := NewRangeSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Enabled(0x999) {
+		t.Fatal("empty set should enable everything")
+	}
+}
+
+func TestRangeSetBounds(t *testing.T) {
+	s, err := NewRangeSet(AddrRange{Start: 0x1000, End: 0x2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a    mem.PAddr
+		want bool
+	}{
+		{0x0fff, false}, {0x1000, true}, {0x1fff, true}, {0x2000, false},
+	}
+	for _, c := range cases {
+		if got := s.Enabled(c.a); got != c.want {
+			t.Fatalf("Enabled(%#x) = %v", uint64(c.a), got)
+		}
+	}
+}
+
+func TestRangeSetMergesOverlaps(t *testing.T) {
+	s, err := NewRangeSet(
+		AddrRange{Start: 0x3000, End: 0x4000},
+		AddrRange{Start: 0x1000, End: 0x2000},
+		AddrRange{Start: 0x1800, End: 0x3000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("merged to %d ranges, want 1", s.Len())
+	}
+	if !s.Enabled(0x2800) || s.Enabled(0x4000) {
+		t.Fatal("merged range bounds wrong")
+	}
+}
+
+func TestRangeSetRejectsInverted(t *testing.T) {
+	if _, err := NewRangeSet(AddrRange{Start: 5, End: 5}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := NewRangeSet(AddrRange{Start: 9, End: 2}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestRangeSetProperty(t *testing.T) {
+	s, err := NewRangeSet(
+		AddrRange{Start: 0x1000, End: 0x2000},
+		AddrRange{Start: 0x8000, End: 0x9000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		a := mem.PAddr(raw)
+		want := (a >= 0x1000 && a < 0x2000) || (a >= 0x8000 && a < 0x9000)
+		return s.Enabled(a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeFilterGeometry(t *testing.T) {
+	pf := NewProbeFilter(512<<10, 4)
+	if pf.Entries() != 8192 || pf.CoverageBytes() != 512<<10 || pf.Ways() != 4 {
+		t.Fatalf("geometry: %d entries, %d bytes", pf.Entries(), pf.CoverageBytes())
+	}
+}
+
+func TestProbeFilterBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewProbeFilter(3*mem.LineBytes, 2) // set count not a power of two
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"allarm/internal/mem"
+)
+
+// Policy selects the probe-filter allocation policy of a directory.
+type Policy uint8
+
+const (
+	// Baseline allocates a probe-filter entry on any miss, local or
+	// remote — the conventional sparse directory, including the
+	// notify-on-clean-exclusive-eviction optimisation (PutE).
+	Baseline Policy = iota
+	// ALLARM allocates only on a miss from a *remote* affinity domain
+	// (ALLocAte on Remote Miss). Local misses are served from DRAM with
+	// no tracking state; remote misses additionally probe the home's
+	// local core, in parallel with DRAM, to discover untracked copies.
+	ALLARM
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case ALLARM:
+		return "allarm"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// AddrRange is a half-open physical address range [Start, End).
+type AddrRange struct {
+	Start, End mem.PAddr
+}
+
+// Contains reports whether a lies in the range.
+func (r AddrRange) Contains(a mem.PAddr) bool { return a >= r.Start && a < r.End }
+
+// RangeSet models the paper's boot-time range registers (§II-C): MTRR-like
+// registers on each directory controller that restrict ALLARM to selected
+// physical ranges. An empty RangeSet enables ALLARM everywhere (the
+// default configuration used in the evaluation).
+//
+// Ranges are normalised (sorted, merged) at construction so Enabled is a
+// binary search.
+type RangeSet struct {
+	ranges []AddrRange
+}
+
+// NewRangeSet builds a normalised range set. Ranges with Start >= End are
+// rejected with a descriptive error.
+func NewRangeSet(ranges ...AddrRange) (*RangeSet, error) {
+	rs := make([]AddrRange, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Start >= r.End {
+			return nil, fmt.Errorf("core: empty or inverted range [%#x,%#x)", uint64(r.Start), uint64(r.End))
+		}
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	merged := rs[:0]
+	for _, r := range rs {
+		if n := len(merged); n > 0 && r.Start <= merged[n-1].End {
+			if r.End > merged[n-1].End {
+				merged[n-1].End = r.End
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return &RangeSet{ranges: merged}, nil
+}
+
+// Enabled reports whether ALLARM applies to a. A nil or empty set enables
+// every address.
+func (s *RangeSet) Enabled(a mem.PAddr) bool {
+	if s == nil || len(s.ranges) == 0 {
+		return true
+	}
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].End > a })
+	return i < len(s.ranges) && s.ranges[i].Contains(a)
+}
+
+// Len returns the number of normalised ranges.
+func (s *RangeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ranges)
+}

@@ -1,0 +1,75 @@
+package dram
+
+import (
+	"testing"
+
+	"allarm/internal/sim"
+)
+
+func TestReadLatency(t *testing.T) {
+	c := New(60*sim.Nanosecond, 0)
+	if done := c.Read(100); done != 100+60*sim.Nanosecond {
+		t.Fatalf("done = %v", done)
+	}
+}
+
+func TestUnlimitedBandwidthNoQueueing(t *testing.T) {
+	c := New(60*sim.Nanosecond, 0)
+	a := c.Read(0)
+	b := c.Read(0)
+	if a != b {
+		t.Fatalf("interval 0 still queued: %v vs %v", a, b)
+	}
+}
+
+func TestServiceIntervalSerializes(t *testing.T) {
+	c := New(60*sim.Nanosecond, 4*sim.Nanosecond)
+	a := c.Read(0)
+	b := c.Read(0)
+	if b != a+4*sim.Nanosecond {
+		t.Fatalf("second read at %v, want %v", b, a+4*sim.Nanosecond)
+	}
+	if c.Stats().QueueDelay != 4*sim.Nanosecond {
+		t.Fatalf("queue delay = %v", c.Stats().QueueDelay)
+	}
+}
+
+func TestIdleGapResetsQueue(t *testing.T) {
+	c := New(60*sim.Nanosecond, 4*sim.Nanosecond)
+	c.Read(0)
+	done := c.Read(1000 * sim.Nanosecond)
+	if done != 1060*sim.Nanosecond {
+		t.Fatalf("post-idle read at %v", done)
+	}
+}
+
+func TestWritesShareBandwidth(t *testing.T) {
+	c := New(60*sim.Nanosecond, 4*sim.Nanosecond)
+	c.Write(0)
+	done := c.Read(0)
+	if done != 64*sim.Nanosecond {
+		t.Fatalf("read behind write at %v", done)
+	}
+	s := c.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(60*sim.Nanosecond, 0)
+	c.Read(0)
+	c.ResetStats()
+	if s := c.Stats(); s.Reads != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestNegativeParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(-1, 0)
+}

@@ -1,0 +1,74 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"allarm/internal/core"
+	"allarm/internal/dram"
+	"allarm/internal/noc"
+)
+
+func TestComputeLinearInCounts(t *testing.T) {
+	c := Default32nm()
+	n := noc.Stats{FlitHops: 10, RouterXings: 20}
+	pf := []core.PFStats{{Reads: 5, Writes: 3}}
+	dr := []dram.Stats{{Reads: 2, Writes: 1}}
+	b := Compute(n, pf, dr, c)
+	wantNoC := 10*c.FlitLink + 20*c.FlitRouter
+	wantPF := 5*c.PFRead + 3*c.PFWrite
+	wantDRAM := 3 * c.DRAMAccess
+	if b.NoC != wantNoC || b.PF != wantPF || b.DRAM != wantDRAM {
+		t.Fatalf("breakdown %+v", b)
+	}
+	if b.Total() != wantNoC+wantPF+wantDRAM {
+		t.Fatal("Total inconsistent")
+	}
+}
+
+func TestComputeSumsNodes(t *testing.T) {
+	c := Default32nm()
+	pf := []core.PFStats{{Reads: 1}, {Reads: 2}, {Reads: 3}}
+	b := Compute(noc.Stats{}, pf, nil, c)
+	if b.PF != 6*c.PFRead {
+		t.Fatalf("PF energy %v", b.PF)
+	}
+}
+
+func TestPFAreaMatchesPaperEndpoints(t *testing.T) {
+	// The power law is fitted on the published endpoints; require the
+	// model within 10% there and within 45% at every published point
+	// (McPAT's re-banking makes the middle points non-monotone in ratio).
+	within := func(size int, tol float64) {
+		got := PFAreaMM2(size)
+		want := PaperPFAreaMM2(size)
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("area(%dkB) = %.2f, paper %.2f (tol %.0f%%)", size>>10, got, want, tol*100)
+		}
+	}
+	within(512<<10, 0.10)
+	within(32<<10, 0.10)
+	for _, kb := range []int{256, 128, 64} {
+		within(kb<<10, 0.45)
+	}
+}
+
+func TestPFAreaMonotone(t *testing.T) {
+	prev := 0.0
+	for _, kb := range []int{32, 64, 128, 256, 512, 1024} {
+		a := PFAreaMM2(kb << 10)
+		if a <= prev {
+			t.Fatalf("area not monotone at %dkB: %v <= %v", kb, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestPaperAreaTable(t *testing.T) {
+	if PaperPFAreaMM2(512<<10) != 70.89 || PaperPFAreaMM2(32<<10) != 5.93 {
+		t.Fatal("published endpoints wrong")
+	}
+	if PaperPFAreaMM2(1<<20) != 0 {
+		t.Fatal("unpublished size should report 0")
+	}
+}

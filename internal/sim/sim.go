@@ -1,0 +1,175 @@
+// Package sim implements the discrete-event simulation engine underlying
+// the ALLARM machine model.
+//
+// Time is measured in integer picoseconds (type Time) so that sub-
+// nanosecond quantities (a 2 GHz core cycle is 500 ps) never lose
+// precision. Events are ordered by time with a stable FIFO tie-break:
+// two events scheduled for the same instant fire in the order they were
+// scheduled, which makes whole-machine simulations bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in picoseconds since the start of the run.
+type Time int64
+
+// Convenient duration units, all expressed in Time (picoseconds).
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// Nanoseconds reports t as a float64 count of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// String renders the time in nanoseconds for logs and test failures.
+func (t Time) String() string { return fmt.Sprintf("%gns", t.Nanoseconds()) }
+
+// Event is a scheduled callback. Fire runs at the event's timestamp.
+type Event func(now Time)
+
+type item struct {
+	at   Time
+	seq  uint64
+	fire Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before Now) panics: it always indicates a model bug, and silently
+// reordering time would corrupt results.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run delay picoseconds from now. Negative delays
+// panic (see At).
+func (e *Engine) After(delay Time, fn Event) { e.At(e.now+delay, fn) }
+
+// Stop makes Run return after the currently firing event completes.
+// Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, Stop is
+// called, or limit events have fired (limit <= 0 means no limit). It
+// returns the number of events fired by this call.
+func (e *Engine) Run(limit uint64) uint64 {
+	e.stopped = false
+	var fired uint64
+	for len(e.queue) > 0 && !e.stopped {
+		if limit > 0 && fired >= limit {
+			break
+		}
+		it := heap.Pop(&e.queue).(item)
+		e.now = it.at
+		it.fire(it.at)
+		fired++
+		e.fired++
+	}
+	return fired
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline stay queued; Now advances to at most deadline.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	var fired uint64
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			break
+		}
+		it := heap.Pop(&e.queue).(item)
+		e.now = it.at
+		it.fire(it.at)
+		fired++
+		e.fired++
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return fired
+}
+
+// Drain discards all pending events without firing them. Now is unchanged.
+func (e *Engine) Drain() {
+	e.queue = e.queue[:0]
+}
+
+// Ticker invokes fn every period until cancel is called. It exists for
+// periodic model activities such as thread-migration experiments.
+type Ticker struct {
+	cancelled bool
+}
+
+// Cancel stops future ticks. Safe to call multiple times.
+func (t *Ticker) Cancel() { t.cancelled = true }
+
+// Tick schedules fn every period starting at now+period. fn receives the
+// tick time. period must be positive.
+func (e *Engine) Tick(period Time, fn Event) *Ticker {
+	if period <= 0 {
+		panic("sim: Tick with non-positive period")
+	}
+	t := &Ticker{}
+	var loop Event
+	loop = func(now Time) {
+		if t.cancelled {
+			return
+		}
+		fn(now)
+		if !t.cancelled {
+			e.At(now+period, loop)
+		}
+	}
+	e.At(e.now+period, loop)
+	return t
+}

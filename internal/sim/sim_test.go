@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(Time) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func(Time) {})
+	e.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for past event")
+		}
+	}()
+	e.At(50, func(Time) {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil event")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	var e Engine
+	var at Time
+	e.At(100, func(now Time) {
+		e.After(50, func(now Time) { at = now })
+	})
+	e.Run(0)
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var e Engine
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	if fired := e.Run(4); fired != 4 {
+		t.Fatalf("fired %d, want 4", fired)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending %d, want 6", e.Pending())
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(1, func(Time) { ran++; e.Stop() })
+	e.At(2, func(Time) { ran++ })
+	e.Run(0)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.At(at, func(Time) { fired = append(fired, at) })
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want deadline", e.Now())
+	}
+	e.Run(0)
+	if len(fired) != 3 {
+		t.Fatalf("remaining event lost: %v", fired)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var e Engine
+	e.At(1, func(Time) { t.Fatal("drained event fired") })
+	e.Drain()
+	if e.Run(0) != 0 {
+		t.Fatal("events after drain")
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	var e Engine
+	depth := 0
+	var recurse Event
+	recurse = func(now Time) {
+		if depth < 100 {
+			depth++
+			e.After(1, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run(0)
+	if depth != 100 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	var e Engine
+	ticks := 0
+	var tk *Ticker
+	tk = e.Tick(10, func(now Time) {
+		ticks++
+		if ticks == 5 {
+			tk.Cancel()
+		}
+	})
+	e.Run(0)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestTickNonPositivePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Tick(0, func(Time) {})
+}
+
+func TestTimeString(t *testing.T) {
+	if s := (1500 * Picosecond).String(); s != "1.5ns" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	e.Run(0)
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}

@@ -1,0 +1,262 @@
+// Package stats provides counters, summary statistics and text tables used
+// by the simulator and the experiment harness.
+//
+// Everything in this package is plain accounting — no simulation logic —
+// so it can be unit-tested in isolation and reused by any component.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+// The zero value is ready to use.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta. It panics on negative deltas: a
+// Counter is monotonic by contract (use Gauge-like plain ints elsewhere).
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Count returns the current value.
+func (c *Counter) Count() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns a/b, or 0 when b is zero. It is the canonical "normalised
+// metric" helper: Ratio(allarm, baseline).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// SafeDiv returns num/den or def when den == 0.
+func SafeDiv(num, den, def float64) float64 {
+	if den == 0 {
+		return def
+	}
+	return num / den
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs, or 0 for an empty slice.
+// All inputs must be positive; non-positive entries make the result 0,
+// mirroring how published geomeans become meaningless with zeros.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Histogram is a fixed-bucket histogram over float64 samples; it also keeps
+// exact min/max/sum/count so means are not quantised.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; last bucket is +Inf
+	counts []uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. An implicit overflow bucket captures samples above the last
+// bound. Panics if bounds is empty or not strictly ascending.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: NewHistogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.n++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of observed samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observed sample (+Inf when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observed sample (-Inf when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// the bucket boundaries. The overflow bucket reports the exact max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Table renders aligned text tables for experiment output. Columns are
+// sized to the widest cell; numeric alignment is the caller's concern
+// (format values with consistent precision).
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows extend the table width.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// the corresponding verb in verbs (reused cyclically if shorter).
+func (t *Table) AddRowf(verbs []string, args ...interface{}) {
+	cells := make([]string, len(args))
+	for i, a := range args {
+		v := "%v"
+		if len(verbs) > 0 {
+			v = verbs[i%len(verbs)]
+		}
+		cells[i] = fmt.Sprintf(v, a)
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with single-space-padded, pipe-separated
+// columns and a dashed rule under the header.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+3*(ncol-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

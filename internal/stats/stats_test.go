@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Count() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Count() != 5 {
+		t.Fatalf("got %d, want 5", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(1, 2); r != 0.5 {
+		t.Fatalf("Ratio(1,2) = %v", r)
+	}
+	if r := Ratio(1, 0); r != 0 {
+		t.Fatalf("Ratio by zero = %v, want 0", r)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if v := SafeDiv(10, 4, -1); v != 2.5 {
+		t.Fatalf("SafeDiv = %v", v)
+	}
+	if v := SafeDiv(10, 0, -1); v != -1 {
+		t.Fatalf("SafeDiv default = %v", v)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v", g)
+	}
+	if g := Geomean([]float64{1, 0, 4}); g != 0 {
+		t.Fatalf("Geomean with zero = %v, want 0", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %v", g)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-9 && x < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return g >= min*(1-1e-9) && g <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 0.5 || h.Max() != 500 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-138.875) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // falls in bucket with bound 2
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("median bound = %v, want 2", q)
+	}
+	if q := h.Quantile(0); q != 2 {
+		t.Fatalf("q0 = %v", q)
+	}
+	h.Observe(100)
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v, want exact max", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(1)
+	if q := h.Quantile(0.9); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for descending bounds")
+		}
+	}()
+	NewHistogram(2, 1)
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8, 16)
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			h.Observe(math.Abs(v))
+		}
+		return h.Quantile(0.25) <= h.Quantile(0.75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") {
+		t.Fatalf("row wrong: %q", lines[2])
+	}
+	// Columns aligned: the separator position must match across rows.
+	if strings.Index(lines[2], "|") != strings.Index(lines[3], "|") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRowf([]string{"%s", "%.2f"}, "x", 1.234)
+	if !strings.Contains(tab.String(), "1.23") {
+		t.Fatalf("AddRowf formatting lost:\n%s", tab.String())
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("only")
+	if out := tab.String(); !strings.Contains(out, "only") {
+		t.Fatalf("short row lost:\n%s", out)
+	}
+}

@@ -1,0 +1,396 @@
+// Package system assembles the simulated machine of Figure 1/Table I:
+// sixteen nodes, each with a core (an in-order request driver), a private
+// L1/L2 hierarchy fronted by a cache controller, a directory controller
+// with its probe filter, and a memory controller — all joined by a 4×4
+// mesh. It runs workloads to completion and collects the statistics every
+// experiment is built from.
+package system
+
+import (
+	"fmt"
+
+	"allarm/internal/cache"
+	"allarm/internal/coherence"
+	"allarm/internal/core"
+	"allarm/internal/dram"
+	"allarm/internal/energy"
+	"allarm/internal/mem"
+	"allarm/internal/noc"
+	"allarm/internal/sim"
+	"allarm/internal/workload"
+)
+
+// Config describes a machine instance. Zero values are invalid; use the
+// facade's DefaultConfig (Table I) and override fields.
+type Config struct {
+	Nodes      int // must equal MeshW×MeshH
+	MeshW      int
+	MeshH      int
+	L1Bytes    int
+	L1Ways     int
+	L2Bytes    int
+	L2Ways     int
+	PFCoverage int // bytes of cached data tracked per directory
+	PFWays     int
+
+	Policy core.Policy
+	Ranges *core.RangeSet
+
+	CacheLatency sim.Time
+	DirLatency   sim.Time
+	DRAMLatency  sim.Time
+	DRAMInterval sim.Time
+
+	NoC noc.Config
+
+	MemBytesPerNode uint64
+
+	// CheckInvariants enables the coherence validator (SWMR, data-value,
+	// PF inclusivity). Meant for tests: it adds per-access map work.
+	CheckInvariants bool
+
+	// MaxEvents aborts a run that exceeds this event budget (deadlock
+	// guard); 0 means no limit.
+	MaxEvents uint64
+}
+
+// Validate reports the first configuration inconsistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0 || c.Nodes != c.MeshW*c.MeshH:
+		return fmt.Errorf("system: nodes (%d) must equal mesh %dx%d", c.Nodes, c.MeshW, c.MeshH)
+	case c.L1Bytes <= 0 || c.L2Bytes <= 0 || c.PFCoverage <= 0:
+		return fmt.Errorf("system: cache and probe-filter sizes must be positive")
+	case c.L1Ways <= 0 || c.L2Ways <= 0 || c.PFWays <= 0:
+		return fmt.Errorf("system: associativities must be positive")
+	case c.CacheLatency < 0 || c.DirLatency < 0 || c.DRAMLatency <= 0:
+		return fmt.Errorf("system: latencies must be non-negative (DRAM positive)")
+	case c.MemBytesPerNode == 0:
+		return fmt.Errorf("system: per-node memory must be positive")
+	}
+	return c.NoC.Validate()
+}
+
+// ThreadSpec pins one software thread to a node with its access stream
+// and address space (processes share an address space; the multi-process
+// experiment uses one space per process).
+type ThreadSpec struct {
+	Node   mem.NodeID
+	Stream workload.Stream
+	Space  *mem.AddressSpace
+	Name   string
+	// Warmup, when non-nil, is replayed before the measured stream; all
+	// statistics are reset at the warmup/measurement boundary, leaving
+	// caches and probe filters in their steady state (the standard
+	// warmup-then-measure simulation methodology).
+	Warmup workload.Stream
+}
+
+// Machine is one simulated system instance.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	phys  *mem.PhysMem
+	nodes []*node
+	cpus  []*cpu
+	check *checker
+
+	roiStart sim.Time
+}
+
+type node struct {
+	id   mem.NodeID
+	hier *cache.Hierarchy
+	cc   *coherence.CacheCtrl
+	dir  *core.DirCtrl
+	dram *dram.Controller
+}
+
+// port implements coherence.Port on the mesh.
+type port struct{ m *Machine }
+
+// Send computes the message's network latency (with link contention) and
+// schedules delivery at the destination controller.
+func (p *port) Send(msg *coherence.Msg) {
+	m := p.m
+	arrival := m.mesh.Send(m.eng.Now(), msg.Src, msg.Dst, msg.Op.Class())
+	dst := m.nodes[msg.Dst]
+	m.eng.At(arrival, func(now sim.Time) {
+		if msg.ToDir {
+			dst.dir.HandleMsg(now, msg)
+		} else {
+			dst.cc.HandleMsg(now, msg)
+		}
+	})
+}
+
+// New builds a machine. The physical memory map is shared by all address
+// spaces the caller constructs via NewAddressSpace.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:  cfg,
+		eng:  &sim.Engine{},
+		mesh: noc.New(cfg.NoC),
+		phys: mem.NewPhysMem(cfg.Nodes, cfg.MemBytesPerNode),
+	}
+	p := &port{m: m}
+	home := func(a mem.PAddr) mem.NodeID { return m.phys.Home(a) }
+	for i := 0; i < cfg.Nodes; i++ {
+		id := mem.NodeID(i)
+		hier := cache.NewHierarchy(cfg.L1Bytes, cfg.L1Ways, cfg.L2Bytes, cfg.L2Ways)
+		dc := dram.New(cfg.DRAMLatency, cfg.DRAMInterval)
+		n := &node{
+			id:   id,
+			hier: hier,
+			cc:   coherence.NewCacheCtrl(id, hier, m.eng, p, home, cfg.CacheLatency),
+			dram: dc,
+			dir: core.NewDirCtrl(core.Config{
+				Node: id, Nodes: cfg.Nodes,
+				Policy: cfg.Policy, Ranges: cfg.Ranges,
+				LookupLatency: cfg.DirLatency,
+			}, core.NewProbeFilter(cfg.PFCoverage, cfg.PFWays), m.eng, p, dc),
+		}
+		m.nodes = append(m.nodes, n)
+	}
+	if cfg.CheckInvariants {
+		m.check = newChecker(m)
+	}
+	return m, nil
+}
+
+// Engine exposes the event engine (tests).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Phys returns the machine's physical memory map.
+func (m *Machine) Phys() *mem.PhysMem { return m.phys }
+
+// NewAddressSpace creates a process address space over the machine's
+// physical memory.
+func (m *Machine) NewAddressSpace(policy mem.Policy) *mem.AddressSpace {
+	return mem.NewAddressSpace(m.phys, policy)
+}
+
+// Node returns node i's directory controller (tests/diagnostics).
+func (m *Machine) Node(i int) *core.DirCtrl { return m.nodes[i].dir }
+
+// CacheCtrl returns node i's cache controller (tests/diagnostics).
+func (m *Machine) CacheCtrl(i int) *coherence.CacheCtrl { return m.nodes[i].cc }
+
+// Preplace pre-faults a workload's pages at their first-toucher's node
+// within the given address space, modelling the initialisation phase that
+// precedes the measured region of interest.
+func Preplace(space *mem.AddressSpace, wl workload.Preplacer, nodeOf func(thread int) mem.NodeID) {
+	wl.ForEachPage(func(page mem.VAddr, thread int) {
+		space.Translate(page, nodeOf(thread))
+	})
+}
+
+// cpu is the in-order core model: it replays its stream, blocking on each
+// access until the memory system completes it.
+type cpu struct {
+	m        *Machine
+	idx      int
+	spec     ThreadSpec
+	issued   uint64
+	done     bool
+	finished sim.Time
+}
+
+func (c *cpu) step(now sim.Time) {
+	acc, ok := c.spec.Stream.Next()
+	if !ok {
+		c.done = true
+		c.finished = now
+		return
+	}
+	c.issued++
+	pa := c.spec.Space.Translate(acc.VAddr, c.spec.Node)
+	cc := c.m.nodes[c.spec.Node].cc
+	issue := func(now sim.Time) {
+		cc.CoreAccess(now, pa, acc.Write, c.step)
+	}
+	if acc.Think > 0 {
+		c.m.eng.After(acc.Think, issue)
+	} else {
+		issue(now)
+	}
+}
+
+// RunResult carries one run's outputs.
+type RunResult struct {
+	// Time is the completion time of the slowest thread (the paper's
+	// region-of-interest runtime).
+	Time sim.Time
+	// PerThreadTime holds each thread's completion time.
+	PerThreadTime []sim.Time
+	// Accesses is the total demand accesses issued.
+	Accesses uint64
+	// Events is the number of simulation events executed.
+	Events uint64
+
+	Dir  []core.DirStats
+	PF   []core.PFStats
+	Hier []cache.HierStats
+	Ctrl []coherence.CtrlStats
+	DRAM []dram.Stats
+	NoC  noc.Stats
+
+	Energy energy.Breakdown
+}
+
+// Run executes the given threads to completion and returns the collected
+// statistics. It returns an error when the event budget is exceeded or a
+// post-run invariant fails.
+func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("system: no threads to run")
+	}
+	for _, t := range threads {
+		if int(t.Node) < 0 || int(t.Node) >= m.cfg.Nodes {
+			return nil, fmt.Errorf("system: thread pinned to invalid node %d", t.Node)
+		}
+		if t.Stream == nil || t.Space == nil {
+			return nil, fmt.Errorf("system: thread needs a stream and an address space")
+		}
+	}
+	// Warmup phase: replay initialisation streams, then reset statistics
+	// (cache, directory and network state carries over).
+	anyWarm := false
+	for _, t := range threads {
+		if t.Warmup != nil {
+			anyWarm = true
+			break
+		}
+	}
+	if anyWarm {
+		m.cpus = m.cpus[:0]
+		for i, t := range threads {
+			if t.Warmup == nil {
+				continue
+			}
+			w := t
+			w.Stream = t.Warmup
+			c := &cpu{m: m, idx: i, spec: w}
+			m.cpus = append(m.cpus, c)
+			m.eng.At(m.eng.Now()+sim.Time(i)*100*sim.Picosecond, c.step)
+		}
+		fired := m.eng.Run(m.cfg.MaxEvents)
+		if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
+			return nil, fmt.Errorf("system: event budget exhausted during warmup at t=%v", m.eng.Now())
+		}
+		for _, c := range m.cpus {
+			if !c.done {
+				return nil, fmt.Errorf("system: warmup thread %d(%s) did not finish", c.idx, c.spec.Name)
+			}
+		}
+		m.resetStats()
+	}
+
+	roiStart := m.eng.Now()
+	m.cpus = m.cpus[:0]
+	for i, t := range threads {
+		c := &cpu{m: m, idx: i, spec: t}
+		m.cpus = append(m.cpus, c)
+		// Stagger starts by 100 ps per thread to break lockstep symmetry.
+		m.eng.At(roiStart+sim.Time(i)*100*sim.Picosecond, c.step)
+	}
+
+	fired := m.eng.Run(m.cfg.MaxEvents)
+	if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
+		return nil, fmt.Errorf("system: event budget %d exhausted at t=%v (possible deadlock)", m.cfg.MaxEvents, m.eng.Now())
+	}
+	for _, c := range m.cpus {
+		if !c.done {
+			return nil, fmt.Errorf("system: thread %d(%s) did not finish (deadlock?)", c.idx, c.spec.Name)
+		}
+	}
+	m.roiStart = roiStart
+
+	res := m.collect()
+	if m.check != nil {
+		if err := m.check.finalCheck(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// resetStats zeroes every component's counters at the warmup/measurement
+// boundary; protocol and cache state is preserved.
+func (m *Machine) resetStats() {
+	for _, n := range m.nodes {
+		n.cc.ResetStats()
+		n.dir.ResetStats()
+		n.dram.ResetStats()
+	}
+	m.mesh.ResetStats()
+}
+
+func (m *Machine) collect() *RunResult {
+	res := &RunResult{Events: m.eng.Fired()}
+	for _, c := range m.cpus {
+		res.Accesses += c.issued
+		res.PerThreadTime = append(res.PerThreadTime, c.finished-m.roiStart)
+		if c.finished-m.roiStart > res.Time {
+			res.Time = c.finished - m.roiStart
+		}
+	}
+	for _, n := range m.nodes {
+		res.Dir = append(res.Dir, n.dir.Stats())
+		res.PF = append(res.PF, n.dir.PF().Stats())
+		res.Hier = append(res.Hier, n.hier.Stats())
+		res.Ctrl = append(res.Ctrl, n.cc.Stats())
+		res.DRAM = append(res.DRAM, n.dram.Stats())
+	}
+	res.NoC = m.mesh.Stats()
+	res.Energy = energy.Compute(res.NoC, res.PF, res.DRAM, energy.Default32nm())
+	return res
+}
+
+// Totals aggregates commonly used sums across nodes.
+type Totals struct {
+	PFEvictions     uint64
+	PFAllocs        uint64
+	NoCBytes        uint64
+	NoCMessages     uint64
+	L2Misses        uint64
+	LocalRequests   uint64
+	RemoteRequests  uint64
+	EvictionMsgs    uint64
+	EvictionProbes  uint64
+	EvictionHits    uint64
+	Invalidations   uint64
+	LocalProbes     uint64
+	ProbesHidden    uint64
+	UntrackedGrants uint64
+	DRAMReads       uint64
+	DRAMWrites      uint64
+}
+
+// Totals computes cross-node aggregates of a result.
+func (r *RunResult) Totals() Totals {
+	var t Totals
+	for i := range r.Dir {
+		t.PFEvictions += r.PF[i].Evictions
+		t.PFAllocs += r.PF[i].Allocs
+		t.L2Misses += r.Hier[i].Misses
+		t.LocalRequests += r.Dir[i].LocalRequests
+		t.RemoteRequests += r.Dir[i].RemoteRequests
+		t.EvictionMsgs += r.Dir[i].EvictionMsgs
+		t.EvictionProbes += r.Dir[i].EvictionProbes
+		t.EvictionHits += r.Dir[i].EvictionProbeHits
+		t.Invalidations += r.Hier[i].ProbeHits
+		t.LocalProbes += r.Dir[i].LocalProbes
+		t.ProbesHidden += r.Dir[i].LocalProbesHidden
+		t.UntrackedGrants += r.Dir[i].UntrackedGrants
+		t.DRAMReads += r.DRAM[i].Reads
+		t.DRAMWrites += r.DRAM[i].Writes
+	}
+	t.NoCBytes = r.NoC.Bytes
+	t.NoCMessages = r.NoC.Messages
+	return t
+}

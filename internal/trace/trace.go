@@ -1,0 +1,230 @@
+// Package trace provides a compact binary format for memory-access
+// traces: capture a workload's stream once and replay it later (or feed
+// externally collected traces into the simulator).
+//
+// Format (little-endian):
+//
+//	header:  magic "ALTR" | u16 version | u16 reserved | u32 threads
+//	record:  u8 flags (bit0 = write) | u8 thread | u16 thinkNs | u64 vaddr
+//
+// The format is deliberately simple — fixed 12-byte records — so traces
+// can be mmap-scanned by external tools.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"allarm/internal/mem"
+	"allarm/internal/sim"
+	"allarm/internal/workload"
+)
+
+// Magic identifies a trace stream.
+var Magic = [4]byte{'A', 'L', 'T', 'R'}
+
+// Version is the current format version.
+const Version = 1
+
+// recordBytes is the fixed wire size of one record.
+const recordBytes = 12
+
+// Record is one traced access.
+type Record struct {
+	Thread int
+	Access workload.Access
+}
+
+// Writer encodes trace records.
+type Writer struct {
+	w       *bufio.Writer
+	threads int
+	wrote   uint64
+}
+
+// NewWriter writes a trace header for the given thread count.
+func NewWriter(w io.Writer, threads int) (*Writer, error) {
+	if threads <= 0 || threads > 255 {
+		return nil, fmt.Errorf("trace: thread count %d out of range [1,255]", threads)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Version)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(threads))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, threads: threads}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if r.Thread < 0 || r.Thread >= w.threads {
+		return fmt.Errorf("trace: thread %d out of range [0,%d)", r.Thread, w.threads)
+	}
+	var buf [recordBytes]byte
+	if r.Access.Write {
+		buf[0] = 1
+	}
+	buf[1] = byte(r.Thread)
+	thinkNs := r.Access.Think / sim.Nanosecond
+	if thinkNs > 0xffff {
+		thinkNs = 0xffff
+	}
+	binary.LittleEndian.PutUint16(buf[2:], uint16(thinkNs))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(r.Access.VAddr))
+	_, err := w.w.Write(buf[:])
+	w.wrote++
+	return err
+}
+
+// Records returns the number of records written.
+func (w *Writer) Records() uint64 { return w.wrote }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes trace records.
+type Reader struct {
+	r       *bufio.Reader
+	threads int
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	threads := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if threads <= 0 || threads > 255 {
+		return nil, fmt.Errorf("trace: corrupt thread count %d", threads)
+	}
+	return &Reader{r: br, threads: threads}, nil
+}
+
+// Threads returns the trace's thread count.
+func (r *Reader) Threads() int { return r.threads }
+
+// Read returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Read() (Record, error) {
+	var buf [recordBytes]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	thread := int(buf[1])
+	if thread >= r.threads {
+		return Record{}, fmt.Errorf("trace: record thread %d out of range", thread)
+	}
+	return Record{
+		Thread: thread,
+		Access: workload.Access{
+			VAddr: mem.VAddr(binary.LittleEndian.Uint64(buf[4:])),
+			Write: buf[0]&1 != 0,
+			Think: sim.Time(binary.LittleEndian.Uint16(buf[2:])) * sim.Nanosecond,
+		},
+	}, nil
+}
+
+// Capture drains a workload's streams into the writer, interleaving
+// threads round-robin (the interleaving does not matter for replay:
+// records carry their thread).
+func Capture(w *Writer, wl workload.Workload, seed uint64) error {
+	streams := make([]workload.Stream, wl.Threads())
+	for t := range streams {
+		streams[t] = wl.Stream(t, seed)
+	}
+	live := len(streams)
+	for live > 0 {
+		live = 0
+		for t, s := range streams {
+			if s == nil {
+				continue
+			}
+			acc, ok := s.Next()
+			if !ok {
+				streams[t] = nil
+				continue
+			}
+			live++
+			if err := w.Write(Record{Thread: t, Access: acc}); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// Replay loads an entire trace and exposes per-thread streams that
+// implement workload.Stream, for feeding a captured trace back into the
+// simulator.
+type Replay struct {
+	threads int
+	perThr  [][]workload.Access
+}
+
+// LoadReplay reads all records from r.
+func LoadReplay(r *Reader) (*Replay, error) {
+	rp := &Replay{threads: r.Threads(), perThr: make([][]workload.Access, r.Threads())}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return rp, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rp.perThr[rec.Thread] = append(rp.perThr[rec.Thread], rec.Access)
+	}
+}
+
+// Threads returns the replay's thread count.
+func (rp *Replay) Threads() int { return rp.threads }
+
+// Records returns the total record count.
+func (rp *Replay) Records() int {
+	n := 0
+	for _, accs := range rp.perThr {
+		n += len(accs)
+	}
+	return n
+}
+
+// Stream returns thread t's replay stream.
+func (rp *Replay) Stream(t int) workload.Stream {
+	return &replayStream{accs: rp.perThr[t]}
+}
+
+type replayStream struct {
+	accs []workload.Access
+	i    int
+}
+
+// Next implements workload.Stream.
+func (s *replayStream) Next() (workload.Access, bool) {
+	if s.i >= len(s.accs) {
+		return workload.Access{}, false
+	}
+	a := s.accs[s.i]
+	s.i++
+	return a, true
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"allarm/internal/sim"
+	"allarm/internal/workload"
+)
+
+func testWorkload(t *testing.T) *workload.Synthetic {
+	t.Helper()
+	return workload.MustSynthetic(workload.Params{
+		Name: "trace-test", Threads: 3, AccessesPerThread: 100,
+		PrivateBytes: 16 << 10, PrivateFrac: 0.6,
+		PrivateWriteFrac: 0.4, PrivateHot: 0.5, SeqRunFrac: 0.5,
+		SharedBytes: 32 << 10, SharedWriteFrac: 0.3,
+		Pattern: workload.Uniform, Init: workload.InterleavedInit,
+		Think: 3 * sim.Nanosecond,
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	wl := testWorkload(t)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, wl.Threads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Capture(w, wl, 42); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 300 {
+		t.Fatalf("captured %d records", w.Records())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Threads() != 3 {
+		t.Fatalf("threads = %d", r.Threads())
+	}
+	rp, err := LoadReplay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Records() != 300 {
+		t.Fatalf("replay holds %d records", rp.Records())
+	}
+
+	// Replayed streams must equal the original generator's streams.
+	for th := 0; th < 3; th++ {
+		orig := wl.Stream(th, 42)
+		got := rp.Stream(th)
+		for i := 0; ; i++ {
+			oa, ook := orig.Next()
+			ga, gok := got.Next()
+			if ook != gok {
+				t.Fatalf("thread %d length mismatch at %d", th, i)
+			}
+			if !ook {
+				break
+			}
+			if oa.VAddr != ga.VAddr || oa.Write != ga.Write {
+				t.Fatalf("thread %d record %d: %+v vs %+v", th, i, oa, ga)
+			}
+			// Think time quantised to nanoseconds by the format.
+			if ga.Think != (oa.Think/sim.Nanosecond)*sim.Nanosecond {
+				t.Fatalf("think mangled: %v vs %v", ga.Think, oa.Think)
+			}
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(Magic[:])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 1)
+	w.Write(Record{Thread: 0})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestWriterRejectsBadThread(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	if err := w.Write(Record{Thread: 5}); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+	if _, err := NewWriter(io.Discard, 0); err == nil {
+		t.Fatal("zero-thread writer accepted")
+	}
+	if _, err := NewWriter(io.Discard, 300); err == nil {
+		t.Fatal("too-many-thread writer accepted")
+	}
+}
+
+func TestRecordThreadValidationOnRead(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 3)
+	w.Write(Record{Thread: 2})
+	w.Flush()
+	// Corrupt the record's thread byte (offset: 12-byte header + 1).
+	data := buf.Bytes()
+	data[12+1] = 200
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Fatal("corrupt thread id accepted")
+	}
+}
+
+func TestEmptyTraceEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 1)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package allarm
+
+import (
+	"allarm/internal/stats"
+	"allarm/internal/system"
+)
+
+// Result carries the metrics of one simulation run, in the units the
+// paper reports.
+type Result struct {
+	// Benchmark and PolicyUsed identify the run.
+	Benchmark  string
+	PolicyUsed Policy
+
+	// RuntimeNs is the region-of-interest runtime (slowest thread).
+	RuntimeNs float64
+	// Accesses is the total demand accesses simulated.
+	Accesses uint64
+
+	// PFEvictions is the machine-wide count of probe-filter entry
+	// evictions (Figure 3b).
+	PFEvictions uint64
+	// PFAllocs counts probe-filter entry installs.
+	PFAllocs uint64
+	// NoCBytes is interconnect traffic in bytes (Figure 3c).
+	NoCBytes uint64
+	// NoCMessages is the interconnect message count.
+	NoCMessages uint64
+	// EvictionMsgs counts NoC messages caused by back-invalidations; with
+	// PFEvictions it gives Figure 3d's messages-per-eviction.
+	EvictionMsgs uint64
+	// L2Misses counts private-hierarchy demand misses (Figure 3e).
+	L2Misses uint64
+	// LocalRequests / RemoteRequests classify directory requests by
+	// affinity domain (Figure 2).
+	LocalRequests, RemoteRequests uint64
+	// LocalProbes / ProbesHidden drive Figure 3g: ALLARM local probes
+	// issued and those resolved off the critical path.
+	LocalProbes, ProbesHidden uint64
+	// UntrackedGrants counts ALLARM's allocation-free local fills.
+	UntrackedGrants uint64
+
+	// NoCEnergyPJ and PFEnergyPJ are modelled dynamic energies
+	// (Figure 3f); DRAMEnergyPJ is reported for completeness.
+	NoCEnergyPJ, PFEnergyPJ, DRAMEnergyPJ float64
+
+	raw *system.RunResult
+}
+
+// Raw exposes the underlying per-node statistics for detailed analysis.
+func (r *Result) Raw() *system.RunResult { return r.raw }
+
+// LocalFraction returns the share of directory requests from the local
+// affinity domain (Figure 2's "Local" bar).
+func (r *Result) LocalFraction() float64 {
+	return stats.SafeDiv(float64(r.LocalRequests), float64(r.LocalRequests+r.RemoteRequests), 0)
+}
+
+// MessagesPerEviction returns the average NoC messages caused per
+// probe-filter eviction (Figure 3d), 0 when there were no evictions.
+func (r *Result) MessagesPerEviction() float64 {
+	return stats.SafeDiv(float64(r.EvictionMsgs), float64(r.PFEvictions), 0)
+}
+
+// SnoopHiddenFraction returns the share of ALLARM local probes that were
+// off the critical path (Figure 3g); 0 for baseline runs.
+func (r *Result) SnoopHiddenFraction() float64 {
+	return stats.SafeDiv(float64(r.ProbesHidden), float64(r.LocalProbes), 0)
+}
+
+func newResult(bench string, pol Policy, rr *system.RunResult) *Result {
+	t := rr.Totals()
+	return &Result{
+		Benchmark:       bench,
+		PolicyUsed:      pol,
+		RuntimeNs:       rr.Time.Nanoseconds(),
+		Accesses:        rr.Accesses,
+		PFEvictions:     t.PFEvictions,
+		PFAllocs:        t.PFAllocs,
+		NoCBytes:        t.NoCBytes,
+		NoCMessages:     t.NoCMessages,
+		EvictionMsgs:    t.EvictionMsgs,
+		L2Misses:        t.L2Misses,
+		LocalRequests:   t.LocalRequests,
+		RemoteRequests:  t.RemoteRequests,
+		LocalProbes:     t.LocalProbes,
+		ProbesHidden:    t.ProbesHidden,
+		UntrackedGrants: t.UntrackedGrants,
+		NoCEnergyPJ:     rr.Energy.NoC,
+		PFEnergyPJ:      rr.Energy.PF,
+		DRAMEnergyPJ:    rr.Energy.DRAM,
+		raw:             rr,
+	}
+}
+
+// Comparison holds ALLARM-versus-baseline ratios in the paper's
+// directions: Speedup > 1 and the other ratios < 1 mean ALLARM wins.
+type Comparison struct {
+	// Speedup is baseline runtime / ALLARM runtime (Figure 3a).
+	Speedup float64
+	// EvictionRatio is ALLARM PF evictions / baseline (Figure 3b).
+	EvictionRatio float64
+	// TrafficRatio is ALLARM NoC bytes / baseline (Figure 3c).
+	TrafficRatio float64
+	// L2MissRatio is ALLARM L2 misses / baseline (Figure 3e).
+	L2MissRatio float64
+	// NoCEnergyRatio and PFEnergyRatio are ALLARM / baseline dynamic
+	// energies (Figure 3f).
+	NoCEnergyRatio, PFEnergyRatio float64
+}
+
+// Compare derives the paper's normalised metrics from a baseline run and
+// an ALLARM run of the same workload.
+func Compare(base, opt *Result) Comparison {
+	return Comparison{
+		Speedup:        stats.SafeDiv(base.RuntimeNs, opt.RuntimeNs, 0),
+		EvictionRatio:  stats.SafeDiv(float64(opt.PFEvictions), float64(base.PFEvictions), 0),
+		TrafficRatio:   stats.SafeDiv(float64(opt.NoCBytes), float64(base.NoCBytes), 0),
+		L2MissRatio:    stats.SafeDiv(float64(opt.L2Misses), float64(base.L2Misses), 0),
+		NoCEnergyRatio: stats.SafeDiv(opt.NoCEnergyPJ, base.NoCEnergyPJ, 0),
+		PFEnergyRatio:  stats.SafeDiv(opt.PFEnergyPJ, base.PFEnergyPJ, 0),
+	}
+}
+
+// Geomean returns the geometric mean of xs (re-exported for harnesses).
+func Geomean(xs []float64) float64 { return stats.Geomean(xs) }

@@ -1,0 +1,188 @@
+package allarm
+
+import (
+	"fmt"
+
+	"allarm/internal/mem"
+	"allarm/internal/system"
+	"allarm/internal/workload"
+)
+
+// Benchmarks returns the evaluated benchmark names in the paper's
+// plotting order (Figures 2–4).
+func Benchmarks() []string {
+	out := make([]string, len(workload.BenchmarkNames))
+	copy(out, workload.BenchmarkNames)
+	return out
+}
+
+// MultiProcessBenchmarks returns the SPLASH2 subset of the multi-process
+// experiment (Figure 4).
+func MultiProcessBenchmarks() []string {
+	out := make([]string, len(workload.MultiProcessNames))
+	copy(out, workload.MultiProcessNames)
+	return out
+}
+
+// Run simulates one benchmark under cfg and returns its metrics.
+func Run(cfg Config, benchmark string) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := workload.Benchmark(benchmark, cfg.Threads, cfg.AccessesPerThread)
+	if err != nil {
+		return nil, err
+	}
+	return runWorkload(cfg, wl)
+}
+
+// runWorkload builds a machine, places the workload's pages, pins thread
+// i to node i mod Nodes, and runs to completion.
+func runWorkload(cfg Config, wl *workload.Synthetic) (*Result, error) {
+	sysCfg, err := cfg.systemConfig()
+	if err != nil {
+		return nil, err
+	}
+	m, err := system.New(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	space := m.NewAddressSpace(cfg.memPolicy())
+	nodeOf := func(t int) mem.NodeID { return mem.NodeID(t % cfg.Nodes) }
+	system.Preplace(space, wl, nodeOf)
+
+	threads := make([]system.ThreadSpec, 0, wl.Threads())
+	for t := 0; t < wl.Threads(); t++ {
+		threads = append(threads, system.ThreadSpec{
+			Node:   nodeOf(t),
+			Stream: wl.Stream(t, cfg.Seed),
+			Warmup: wl.WarmupStream(t, cfg.Seed),
+			Space:  space,
+			Name:   fmt.Sprintf("%s/t%d", wl.Name(), t),
+		})
+	}
+	rr, err := m.Run(threads)
+	if err != nil {
+		return nil, fmt.Errorf("allarm: %s (%v): %w", wl.Name(), cfg.Policy, err)
+	}
+	return newResult(wl.Name(), cfg.Policy, rr), nil
+}
+
+// RunPair runs the same benchmark and seed under the baseline and ALLARM
+// policies, returning both results for normalised comparisons.
+func RunPair(cfg Config, benchmark string) (base, opt *Result, err error) {
+	c := cfg
+	c.Policy = Baseline
+	base, err = Run(c, benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.Policy = ALLARM
+	opt, err = Run(c, benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, opt, nil
+}
+
+// MultiProcessConfig adapts cfg for the paper's multi-process experiment
+// (§III-B): ncopies single-threaded copies of a benchmark, spread evenly
+// across the mesh, with each copy's footprint scaled so the 512 KiB probe
+// filter is comfortable and smaller filters are not, and per-node DRAM
+// scaled so a small fraction of pages falls back to remote nodes (the
+// paper's "capacity limitations at a single memory controller").
+type MultiProcessConfig struct {
+	// Copies is the number of single-threaded processes (paper: 2).
+	Copies int
+	// FootprintBytes is each process's total data footprint; the private
+	// and shared regions of the benchmark are rescaled to fit it.
+	FootprintBytes int
+	// LocalMemBytes is each node's DRAM capacity; set slightly below
+	// FootprintBytes to force best-effort remote fallback allocation.
+	LocalMemBytes int
+}
+
+// DefaultMultiProcess mirrors the paper's two-copy setup with a footprint
+// modestly above the 512 KiB probe-filter coverage.
+func DefaultMultiProcess() MultiProcessConfig {
+	return MultiProcessConfig{
+		Copies:         2,
+		FootprintBytes: 640 << 10,
+		LocalMemBytes:  576 << 10,
+	}
+}
+
+// RunMultiProcess simulates mp.Copies single-threaded copies of the named
+// benchmark (coordinated to start together, as in the paper) and returns
+// combined metrics. Runtime is the completion time of the slower copy.
+func RunMultiProcess(cfg Config, mp MultiProcessConfig, benchmark string) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mp.Copies <= 0 || mp.Copies > cfg.Nodes {
+		return nil, fmt.Errorf("allarm: copies must be in [1,%d]", cfg.Nodes)
+	}
+	if mp.FootprintBytes < 8<<10 {
+		return nil, fmt.Errorf("allarm: multi-process footprint too small")
+	}
+
+	p, ok := workload.Preset(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("allarm: unknown benchmark %q", benchmark)
+	}
+	// Rescale the benchmark's regions to the requested footprint,
+	// preserving its private/shared balance and page alignment.
+	total := float64(p.PrivateBytes + p.SharedBytes)
+	scale := float64(mp.FootprintBytes) / total
+	pageRound := func(b float64) int {
+		n := int(b) &^ (mem.PageBytes - 1)
+		if n < mem.PageBytes {
+			n = mem.PageBytes
+		}
+		return n
+	}
+	p.PrivateBytes = pageRound(float64(p.PrivateBytes) * scale)
+	p.SharedBytes = pageRound(float64(p.SharedBytes) * scale)
+	p.Threads = 1
+	p.AccessesPerThread = cfg.AccessesPerThread
+
+	sysCfg, err := cfg.systemConfig()
+	if err != nil {
+		return nil, err
+	}
+	if mp.LocalMemBytes > 0 {
+		bytes := (uint64(mp.LocalMemBytes) / mem.PageBytes) * mem.PageBytes
+		if bytes < mem.PageBytes {
+			bytes = mem.PageBytes
+		}
+		sysCfg.MemBytesPerNode = bytes
+	}
+	m, err := system.New(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	spread := cfg.Nodes / mp.Copies
+	threads := make([]system.ThreadSpec, 0, mp.Copies)
+	for c := 0; c < mp.Copies; c++ {
+		wl, err := workload.NewSynthetic(p)
+		if err != nil {
+			return nil, err
+		}
+		node := mem.NodeID(c * spread)
+		space := m.NewAddressSpace(cfg.memPolicy())
+		system.Preplace(space, wl, func(int) mem.NodeID { return node })
+		threads = append(threads, system.ThreadSpec{
+			Node:   node,
+			Stream: wl.Stream(0, cfg.Seed+uint64(c)*7919),
+			Warmup: wl.WarmupStream(0, cfg.Seed+uint64(c)*7919),
+			Space:  space,
+			Name:   fmt.Sprintf("%s/p%d", benchmark, c),
+		})
+	}
+	rr, err := m.Run(threads)
+	if err != nil {
+		return nil, fmt.Errorf("allarm: multi-process %s (%v): %w", benchmark, cfg.Policy, err)
+	}
+	return newResult(benchmark, cfg.Policy, rr), nil
+}
