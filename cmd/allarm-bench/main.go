@@ -5,21 +5,38 @@
 //	allarm-bench -exp fig3a              # one experiment
 //	allarm-bench -exp all                # everything (minutes)
 //	allarm-bench -exp fig2 -accesses 120000 -seed 7
+//	allarm-bench -exp all -parallel 4    # bound the worker pool
+//	allarm-bench -exp fig3a -json        # raw per-run records, not tables
+//	allarm-bench -exp all -csv > runs.csv
 //
-// Output is the series each figure plots (normalised to the baseline
-// exactly as the paper normalises); EXPERIMENTS.md records the paper-vs-
-// measured comparison.
+// By default output is the series each figure plots (normalised to the
+// baseline exactly as the paper normalises). With -json or -csv the
+// requested experiments' sweeps are merged, deduplicated and run once,
+// and the raw per-simulation records are emitted instead of the paper's
+// tables ("table1" and "area" run no simulations and contribute
+// nothing). Simulations fan out over -parallel workers; results are
+// deterministic at any parallelism.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	allarm "allarm"
 )
+
+// mainContext is cancelled on Ctrl-C so an in-flight sweep stops
+// promptly (finished runs are still emitted, with the rest marked
+// cancelled).
+func mainContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt)
+	return ctx
+}
 
 func main() {
 	var (
@@ -27,6 +44,10 @@ func main() {
 		accesses  = flag.Int("accesses", 0, "accesses per thread (0 = default)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		fullScale = flag.Bool("fullscale", false, "use unscaled Table I SRAM sizes")
+		parallel  = flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+		jsonOut   = flag.Bool("json", false, "emit raw per-run records as JSON")
+		csvOut    = flag.Bool("csv", false, "emit raw per-run records as CSV")
+		progress  = flag.Bool("progress", false, "report per-run progress on stderr")
 	)
 	flag.Parse()
 
@@ -39,17 +60,67 @@ func main() {
 		cfg.AccessesPerThread = *accesses
 	}
 
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "allarm-bench: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = allarm.ExperimentIDs
 	}
+
+	ctx := mainContext()
+	runner := &allarm.Runner{Parallelism: *parallel}
+	if *progress {
+		runner.Progress = func(done, total int, r allarm.SweepResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s pf=%dkB\n",
+				done, total, r.Job.Benchmark, r.Job.Config.Policy, r.Job.Config.PFBytes>>10)
+		}
+	}
+
+	if *jsonOut || *csvOut {
+		emitRaw(ctx, cfg, ids, runner, *jsonOut)
+		return
+	}
+
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Printf("== %s ==\n", id)
-		if err := allarm.RunExperiment(os.Stdout, cfg, id); err != nil {
+		if err := allarm.RunExperimentWith(ctx, os.Stdout, cfg, id, runner); err != nil {
 			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+// emitRaw merges the experiments' sweeps (dropping duplicate
+// simulations), runs the union once, and emits the per-run records.
+func emitRaw(ctx context.Context, cfg allarm.Config, ids []string, runner *allarm.Runner, asJSON bool) {
+	merged := allarm.NewSweep()
+	for _, id := range ids {
+		s, err := allarm.ExperimentSweep(cfg, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			os.Exit(1)
+		}
+		merged.Add(s.Jobs...)
+	}
+	merged.Dedup()
+
+	results, runErr := runner.Run(ctx, merged)
+	var e allarm.Emitter = allarm.CSVEmitter{}
+	if asJSON {
+		e = allarm.JSONEmitter{Indent: true}
+	}
+	if err := e.Emit(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+		os.Exit(1)
+	}
+	// Per-job failures and cancellation are recorded in the emitted rows;
+	// reflect them in the exit status too.
+	if runErr != nil || allarm.FirstError(results) != nil {
+		os.Exit(1)
 	}
 }

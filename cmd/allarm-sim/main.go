@@ -5,10 +5,16 @@
 //
 //	allarm-sim -bench ocean-cont -policy allarm -accesses 60000
 //	allarm-sim -bench barnes -pair            # baseline vs ALLARM
+//	allarm-sim -bench barnes -pair -json      # raw records instead
 //	allarm-sim -list                          # available benchmarks
+//
+// Every invocation is a (possibly one-job) sweep: -pair fans the two
+// policies out over -parallel workers, and -json/-csv swap the human
+// summary for the raw per-run records.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +36,19 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		multi     = flag.Int("multi", 0, "run N single-threaded copies instead (Figure 4 mode)")
 		fullScale = flag.Bool("fullscale", false, "use unscaled Table I SRAM sizes")
+		parallel  = flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+		jsonOut   = flag.Bool("json", false, "emit raw per-run records as JSON")
+		csvOut    = flag.Bool("csv", false, "emit raw per-run records as CSV")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(allarm.Benchmarks(), "\n"))
 		return
+	}
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "allarm-sim: -json and -csv are mutually exclusive")
+		os.Exit(2)
 	}
 
 	cfg := allarm.ExperimentConfig()
@@ -54,47 +67,60 @@ func main() {
 		cfg.PFBytes = *pfKiB << 10
 	}
 
-	run := func(pol allarm.Policy) *allarm.Result {
-		cfg.Policy = pol
-		var res *allarm.Result
-		var err error
-		if *multi > 0 {
-			mp := allarm.DefaultMultiProcess()
-			mp.Copies = *multi
-			res, err = allarm.RunMultiProcess(cfg, mp, *bench)
-		} else {
-			res, err = allarm.Run(cfg, *bench)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-sim:", err)
-			os.Exit(1)
-		}
-		return res
+	job := allarm.Job{Benchmark: *bench, Config: cfg}
+	if *multi > 0 {
+		mp := allarm.DefaultMultiProcess()
+		mp.Copies = *multi
+		job.MultiProcess = &mp
 	}
 
+	sweep := allarm.NewSweep(job)
 	if *pair {
-		base := run(allarm.Baseline)
-		opt := run(allarm.ALLARM)
-		print1(base)
-		print1(opt)
-		c := allarm.Compare(base, opt)
-		fmt.Printf("speedup            %8.3fx\n", c.Speedup)
-		fmt.Printf("evictions ratio    %8.3f\n", c.EvictionRatio)
-		fmt.Printf("traffic ratio      %8.3f\n", c.TrafficRatio)
-		fmt.Printf("L2 miss ratio      %8.3f\n", c.L2MissRatio)
-		fmt.Printf("NoC energy ratio   %8.3f\n", c.NoCEnergyRatio)
-		fmt.Printf("PF energy ratio    %8.3f\n", c.PFEnergyRatio)
-		return
+		sweep.CrossPolicies(allarm.Baseline, allarm.ALLARM)
+	} else {
+		switch *policy {
+		case "baseline":
+			sweep.CrossPolicies(allarm.Baseline)
+		case "allarm":
+			sweep.CrossPolicies(allarm.ALLARM)
+		default:
+			fmt.Fprintf(os.Stderr, "allarm-sim: unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
 	}
 
-	switch *policy {
-	case "baseline":
-		print1(run(allarm.Baseline))
-	case "allarm":
-		print1(run(allarm.ALLARM))
+	runner := &allarm.Runner{Parallelism: *parallel}
+	results, err := runner.Run(context.Background(), sweep)
+	if err == nil {
+		err = allarm.FirstError(results)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *jsonOut:
+		err = allarm.JSONEmitter{Indent: true}.Emit(os.Stdout, results)
+	case *csvOut:
+		err = allarm.CSVEmitter{}.Emit(os.Stdout, results)
 	default:
-		fmt.Fprintf(os.Stderr, "allarm-sim: unknown policy %q\n", *policy)
-		os.Exit(2)
+		for _, r := range results {
+			print1(r.Result)
+		}
+		if *pair {
+			c := allarm.Compare(results[0].Result, results[1].Result)
+			fmt.Printf("speedup            %8.3fx\n", c.Speedup)
+			fmt.Printf("evictions ratio    %8.3f\n", c.EvictionRatio)
+			fmt.Printf("traffic ratio      %8.3f\n", c.TrafficRatio)
+			fmt.Printf("L2 miss ratio      %8.3f\n", c.L2MissRatio)
+			fmt.Printf("NoC energy ratio   %8.3f\n", c.NoCEnergyRatio)
+			fmt.Printf("PF energy ratio    %8.3f\n", c.PFEnergyRatio)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+		os.Exit(1)
 	}
 }
 

@@ -101,7 +101,7 @@ type AddrRange struct{ Start, End uint64 }
 
 // DefaultConfig returns the paper's Table I system with a workload scale
 // suitable for laptop-class runs (the paper itself scales inputs down;
-// see DESIGN.md §1).
+// see the Experiments section of README.md).
 func DefaultConfig() Config {
 	return Config{
 		Threads:           16,
@@ -156,7 +156,7 @@ const ExperimentScale = 4
 
 // ExperimentConfig returns the configuration used by the experiment
 // harness: Table I with all SRAM capacities divided by ExperimentScale.
-// See EXPERIMENTS.md for the methodology note.
+// See the Experiments section of README.md for the methodology note.
 func ExperimentConfig() Config {
 	c := DefaultConfig()
 	c.L1Bytes /= ExperimentScale

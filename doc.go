@@ -12,8 +12,8 @@
 // The package front-ends a complete machine model (16-node 4×4 mesh,
 // private L1/L2 per node, Hammer-style coherence with per-node probe
 // filters, one memory controller per node) plus synthetic SPLASH2/Parsec
-// workload models, and exposes runners for every experiment in the
-// paper's evaluation:
+// workload models. Single runs go through Run, RunPair and
+// RunMultiProcess:
 //
 //	cfg := allarm.DefaultConfig()          // Table I parameters
 //	base, opt, err := allarm.RunPair(cfg, "ocean-cont")
@@ -21,6 +21,29 @@
 //	cmp := allarm.Compare(base, opt)
 //	fmt.Printf("speedup %.2fx, evictions ×%.2f\n", cmp.Speedup, cmp.EvictionRatio)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// # Sweeps
+//
+// The paper's evaluation is a grid of independent simulations, and the
+// Sweep API is how grids are expressed and executed. A Sweep is a
+// declarative list of Jobs, usually derived from a seed job with the
+// Cross* combinators; a Runner fans the jobs out over a worker pool with
+// context cancellation and progress reporting, returning results in
+// spec order regardless of completion order (simulations are
+// deterministic, so results are identical at every parallelism):
+//
+//	sweep := allarm.NewSweep(allarm.Job{Config: cfg}).
+//		CrossBenchmarks(allarm.Benchmarks()...).
+//		CrossPolicies(allarm.Baseline, allarm.ALLARM)
+//	results, err := allarm.RunSweep(ctx, sweep)     // all cores
+//	if err == nil { err = allarm.FirstError(results) }
+//
+// Results are structured data — each SweepResult pairs the Job with its
+// *Result or error — rendered by pluggable emitters (TableEmitter,
+// CSVEmitter, JSONEmitter) or consumed directly.
+//
+// Every table and figure of the paper is such a spec: ExperimentSweep
+// returns the grid behind an experiment id, and RunExperiment (the
+// compatibility shim over it) runs the grid and prints the series the
+// paper plots. See README.md for a quickstart and cmd/allarm-bench for
+// the figure-regeneration CLI.
 package allarm

@@ -1,0 +1,203 @@
+package allarm
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"allarm/internal/stats"
+)
+
+// Emitter renders the results of a sweep. The built-in emitters —
+// TableEmitter, CSVEmitter and JSONEmitter — share one flat record per
+// job (spec fields plus the Result metrics), so the same sweep can feed
+// a terminal, a spreadsheet or a downstream tool without re-running.
+type Emitter interface {
+	Emit(w io.Writer, results []SweepResult) error
+}
+
+// sweepColumns are the emitted fields, in order. Table and CSV output
+// use exactly these headers; JSON uses their snake_case tags below.
+var sweepColumns = []string{
+	"benchmark", "policy", "threads", "copies", "pf_kib", "seed", "error",
+	"runtime_ns", "accesses", "pf_allocs", "pf_evictions", "eviction_msgs",
+	"l2_misses", "noc_bytes", "noc_msgs", "local_reqs", "remote_reqs",
+	"local_probes", "probes_hidden", "untracked_grants",
+	"noc_energy_pj", "pf_energy_pj",
+}
+
+// sweepRecord is the flat serialisable view of one SweepResult. The
+// metrics are an embedded pointer so JSON keeps legitimate zeros on
+// successful runs (ALLARM eliminating every eviction must read as
+// "pf_evictions": 0) while failed jobs omit the metric keys entirely.
+type sweepRecord struct {
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	Threads   int    `json:"threads"`
+	Copies    int    `json:"copies,omitempty"`
+	PFKiB     int    `json:"pf_kib"`
+	Seed      uint64 `json:"seed"`
+	Error     string `json:"error,omitempty"`
+
+	*sweepMetrics
+}
+
+// sweepMetrics are the per-run measurements, present only when the job
+// produced a Result.
+type sweepMetrics struct {
+	RuntimeNs       float64 `json:"runtime_ns"`
+	Accesses        uint64  `json:"accesses"`
+	PFAllocs        uint64  `json:"pf_allocs"`
+	PFEvictions     uint64  `json:"pf_evictions"`
+	EvictionMsgs    uint64  `json:"eviction_msgs"`
+	L2Misses        uint64  `json:"l2_misses"`
+	NoCBytes        uint64  `json:"noc_bytes"`
+	NoCMessages     uint64  `json:"noc_msgs"`
+	LocalRequests   uint64  `json:"local_reqs"`
+	RemoteRequests  uint64  `json:"remote_reqs"`
+	LocalProbes     uint64  `json:"local_probes"`
+	ProbesHidden    uint64  `json:"probes_hidden"`
+	UntrackedGrants uint64  `json:"untracked_grants"`
+	NoCEnergyPJ     float64 `json:"noc_energy_pj"`
+	PFEnergyPJ      float64 `json:"pf_energy_pj"`
+}
+
+// record flattens one SweepResult.
+func record(r SweepResult) sweepRecord {
+	rec := sweepRecord{
+		Benchmark: r.Job.Benchmark,
+		Policy:    r.Job.Config.Policy.String(),
+		Threads:   r.Job.Config.Threads,
+		PFKiB:     r.Job.Config.PFBytes >> 10,
+		Seed:      r.Job.Config.Seed,
+	}
+	if r.Job.MultiProcess != nil {
+		rec.Copies = r.Job.MultiProcess.Copies
+		rec.Threads = 1
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		return rec
+	}
+	if res := r.Result; res != nil {
+		rec.sweepMetrics = &sweepMetrics{
+			RuntimeNs:       res.RuntimeNs,
+			Accesses:        res.Accesses,
+			PFAllocs:        res.PFAllocs,
+			PFEvictions:     res.PFEvictions,
+			EvictionMsgs:    res.EvictionMsgs,
+			L2Misses:        res.L2Misses,
+			NoCBytes:        res.NoCBytes,
+			NoCMessages:     res.NoCMessages,
+			LocalRequests:   res.LocalRequests,
+			RemoteRequests:  res.RemoteRequests,
+			LocalProbes:     res.LocalProbes,
+			ProbesHidden:    res.ProbesHidden,
+			UntrackedGrants: res.UntrackedGrants,
+			NoCEnergyPJ:     res.NoCEnergyPJ,
+			PFEnergyPJ:      res.PFEnergyPJ,
+		}
+	}
+	return rec
+}
+
+// cells renders the record's fields as strings in sweepColumns order.
+// Failed jobs print zero metrics (the error column explains why).
+func (rec sweepRecord) cells() []string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+	m := rec.sweepMetrics
+	if m == nil {
+		m = &sweepMetrics{}
+	}
+	return []string{
+		rec.Benchmark, rec.Policy,
+		strconv.Itoa(rec.Threads), strconv.Itoa(rec.Copies),
+		strconv.Itoa(rec.PFKiB), u(rec.Seed), rec.Error,
+		f(m.RuntimeNs), u(m.Accesses), u(m.PFAllocs),
+		u(m.PFEvictions), u(m.EvictionMsgs), u(m.L2Misses),
+		u(m.NoCBytes), u(m.NoCMessages), u(m.LocalRequests),
+		u(m.RemoteRequests), u(m.LocalProbes), u(m.ProbesHidden),
+		u(m.UntrackedGrants), f(m.NoCEnergyPJ), f(m.PFEnergyPJ),
+	}
+}
+
+// TableEmitter renders sweep results as an aligned text table, one row
+// per job, with a final geomean row over the successful runtimes'
+// speedups when a Reference is set.
+type TableEmitter struct {
+	// Reference, when non-nil, selects the run each row's speedup is
+	// normalised to (typically the full-size baseline); a "speedup"
+	// column is appended and a geomean row (over non-zero speedups, as
+	// the paper's figures do) closes the table.
+	Reference func(r SweepResult) *Result
+}
+
+// Emit implements Emitter.
+func (e *TableEmitter) Emit(w io.Writer, results []SweepResult) error {
+	header := sweepColumns
+	if e.Reference != nil {
+		header = append(append([]string{}, sweepColumns...), "speedup")
+	}
+	t := stats.NewTable(header...)
+	var speedups []float64
+	for _, r := range results {
+		cells := record(r).cells()
+		if e.Reference != nil {
+			v := 0.0
+			if ref := e.Reference(r); ref != nil && r.Result != nil {
+				v = stats.SafeDiv(ref.RuntimeNs, r.Result.RuntimeNs, 0)
+			}
+			speedups = append(speedups, v)
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow(cells...)
+	}
+	if e.Reference != nil {
+		geo := make([]string, len(sweepColumns)+1)
+		geo[0] = "geomean"
+		geo[len(geo)-1] = fmt.Sprintf("%.3f", stats.GeomeanNonZero(speedups))
+		t.AddRow(geo...)
+	}
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// CSVEmitter renders sweep results as CSV with a header row.
+type CSVEmitter struct{}
+
+// Emit implements Emitter.
+func (CSVEmitter) Emit(w io.Writer, results []SweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sweepColumns); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write(record(r).cells()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSONEmitter renders sweep results as a JSON array of records.
+type JSONEmitter struct {
+	// Indent pretty-prints with two-space indentation.
+	Indent bool
+}
+
+// Emit implements Emitter.
+func (e JSONEmitter) Emit(w io.Writer, results []SweepResult) error {
+	recs := make([]sweepRecord, len(results))
+	for i, r := range results {
+		recs[i] = record(r)
+	}
+	enc := json.NewEncoder(w)
+	if e.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(recs)
+}

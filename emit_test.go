@@ -1,0 +1,146 @@
+package allarm_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	allarm "allarm"
+)
+
+// fabricatedResults builds a two-row sweep outcome by hand (one success,
+// one failed job) so emitter goldens don't depend on the simulator.
+func fabricatedResults() []allarm.SweepResult {
+	cfg := allarm.Config{Threads: 16, PFBytes: 128 << 10, Seed: 1, Policy: allarm.ALLARM}
+	ok := allarm.SweepResult{
+		Job: allarm.Job{Benchmark: "barnes", Config: cfg},
+		Result: &allarm.Result{
+			Benchmark:  "barnes",
+			PolicyUsed: allarm.ALLARM,
+			RuntimeNs:  1234.5,
+			Accesses:   32000,
+			PFAllocs:   100,
+			// Zero on purpose: ALLARM eliminating every eviction is the
+			// paper's headline case and must survive serialisation.
+			PFEvictions:     0,
+			EvictionMsgs:    40,
+			L2Misses:        500,
+			NoCBytes:        65536,
+			NoCMessages:     900,
+			LocalRequests:   700,
+			RemoteRequests:  300,
+			LocalProbes:     50,
+			ProbesHidden:    45,
+			UntrackedGrants: 600,
+			NoCEnergyPJ:     1000.4,
+			PFEnergyPJ:      200.8,
+		},
+	}
+	badCfg := cfg
+	badCfg.Policy = allarm.Baseline
+	bad := allarm.SweepResult{
+		Job: allarm.Job{Benchmark: "no-such", Config: badCfg},
+		Err: errors.New("allarm: unknown benchmark \"no-such\""),
+	}
+	return []allarm.SweepResult{ok, bad}
+}
+
+func TestCSVEmitterGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := (allarm.CSVEmitter{}).Emit(&sb, fabricatedResults()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"benchmark,policy,threads,copies,pf_kib,seed,error,runtime_ns,accesses,pf_allocs,pf_evictions,eviction_msgs,l2_misses,noc_bytes,noc_msgs,local_reqs,remote_reqs,local_probes,probes_hidden,untracked_grants,noc_energy_pj,pf_energy_pj",
+		"barnes,allarm,16,0,128,1,,1234.5,32000,100,0,40,500,65536,900,700,300,50,45,600,1000.4,200.8",
+		"no-such,baseline,16,0,128,1,\"allarm: unknown benchmark \"\"no-such\"\"\",0.0,0,0,0,0,0,0,0,0,0,0,0,0,0.0,0.0",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Fatalf("CSV output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestJSONEmitterGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := (allarm.JSONEmitter{}).Emit(&sb, fabricatedResults()); err != nil {
+		t.Fatal(err)
+	}
+	var recs []map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &recs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r["benchmark"] != "barnes" || r["policy"] != "allarm" {
+		t.Fatalf("record 0 ids wrong: %v", r)
+	}
+	if r["runtime_ns"] != 1234.5 || r["pf_kib"] != float64(128) || r["untracked_grants"] != float64(600) {
+		t.Fatalf("record 0 metrics wrong: %v", r)
+	}
+	// A legitimately zero metric must be present (0), not omitted.
+	if v, present := r["pf_evictions"]; !present || v != float64(0) {
+		t.Fatalf("zero metric dropped from JSON: %v", r)
+	}
+	if _, present := r["error"]; present {
+		t.Fatal("successful record carries an error field")
+	}
+	if recs[1]["error"] != "allarm: unknown benchmark \"no-such\"" {
+		t.Fatalf("record 1 error wrong: %v", recs[1])
+	}
+	if _, present := recs[1]["runtime_ns"]; present {
+		t.Fatal("failed record carries metrics")
+	}
+}
+
+func TestJSONEmitterIndent(t *testing.T) {
+	var sb strings.Builder
+	if err := (allarm.JSONEmitter{Indent: true}).Emit(&sb, fabricatedResults()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "[\n  {\n") {
+		t.Fatalf("indented output not pretty-printed:\n%s", sb.String())
+	}
+}
+
+func TestTableEmitterGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := (&allarm.TableEmitter{}).Emit(&sb, fabricatedResults()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark | policy") {
+		t.Fatalf("table header wrong:\n%s", out)
+	}
+	for _, want := range []string{"barnes", "allarm", "1234.5", "no-such", "unknown benchmark"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableEmitterReferenceSpeedup(t *testing.T) {
+	results := fabricatedResults()[:1]
+	ref := &allarm.Result{RuntimeNs: 2469.0} // exactly 2x the row's runtime
+	e := &allarm.TableEmitter{
+		Reference: func(allarm.SweepResult) *allarm.Result { return ref },
+	}
+	var sb strings.Builder
+	if err := e.Emit(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "2.000") {
+		t.Fatalf("speedup column missing:\n%s", out)
+	}
+	if !strings.Contains(out, "geomean") {
+		t.Fatalf("geomean row missing:\n%s", out)
+	}
+}

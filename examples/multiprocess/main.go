@@ -3,9 +3,14 @@
 // center/MPI pattern), swept over shrinking probe filters. The baseline
 // degrades sharply; ALLARM barely notices, because single-process data is
 // entirely thread-local.
+//
+// The whole grid — both policies × five probe-filter sizes — is one
+// declarative Sweep run in parallel; the first job (full-size baseline)
+// doubles as the normalisation reference.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,26 +23,30 @@ func main() {
 	mp := allarm.DefaultMultiProcess()
 	bench := "ocean-cont"
 
-	cfg.Policy = allarm.Baseline
-	ref, err := allarm.RunMultiProcess(cfg, mp, bench)
+	sizes := make([]int, 0, 5)
+	for _, div := range []int{1, 2, 4, 8, 16} {
+		sizes = append(sizes, cfg.PFBytes/div)
+	}
+	// Policy-major, size-minor: the grid's first job is the full-size
+	// baseline, which is exactly the reference run.
+	sweep := allarm.NewSweep(allarm.Job{Benchmark: bench, Config: cfg, MultiProcess: &mp}).
+		CrossPolicies(allarm.Baseline, allarm.ALLARM).
+		CrossPFSizes(sizes...)
+	results, err := allarm.RunSweep(context.Background(), sweep)
+	if err == nil {
+		err = allarm.FirstError(results)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	ref := results[0].Result
 
 	fmt.Printf("two 1-thread copies of %s (footprint %dkB/process)\n",
 		bench, mp.FootprintBytes>>10)
 	fmt.Println("PF size   policy    speedup   evictions")
-	for _, pol := range []allarm.Policy{allarm.Baseline, allarm.ALLARM} {
-		for _, div := range []int{1, 2, 4, 8, 16} {
-			c := cfg
-			c.Policy = pol
-			c.PFBytes = cfg.PFBytes / div
-			res, err := allarm.RunMultiProcess(c, mp, bench)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%5dkB   %-8s  %6.3f   %9d\n",
-				c.PFBytes>>10, pol, ref.RuntimeNs/res.RuntimeNs, res.PFEvictions)
-		}
+	for _, r := range results {
+		fmt.Printf("%5dkB   %-8s  %6.3f   %9d\n",
+			r.Job.Config.PFBytes>>10, r.Job.Config.Policy,
+			ref.RuntimeNs/r.Result.RuntimeNs, r.Result.PFEvictions)
 	}
 }

@@ -2,11 +2,16 @@
 // filter shrink before each policy starts losing performance? ALLARM's
 // answer — much further, because thread-local data needs no entries — is
 // the paper's area-saving argument (§III-B's table).
+//
+// The grid is a declarative Sweep (PF sizes × policies) fanned out over
+// all cores, with a progress callback on stderr.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	allarm "allarm"
 )
@@ -16,24 +21,36 @@ func main() {
 	cfg.AccessesPerThread = 30_000
 	bench := "barnes"
 
-	ref, err := allarm.Run(cfg, bench) // full-size baseline reference
+	sizes := []int{cfg.PFBytes, cfg.PFBytes / 2, cfg.PFBytes / 4}
+	// PF-size-major, policy-minor, so results line up with the printed
+	// rows — and the grid's first job (full size, baseline) doubles as
+	// the normalisation reference.
+	spec := allarm.NewSweep(allarm.Job{Benchmark: bench, Config: cfg}).
+		CrossPFSizes(sizes...).
+		CrossPolicies(allarm.Baseline, allarm.ALLARM)
+
+	runner := &allarm.Runner{
+		Progress: func(done, total int, r allarm.SweepResult) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s pf=%dkB done\n",
+				done, total, r.Job.Config.Policy, r.Job.Config.PFBytes>>10)
+		},
+	}
+	results, err := runner.Run(context.Background(), spec)
+	if err == nil {
+		err = allarm.FirstError(results)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	ref := results[0].Result
 
 	fmt.Printf("%s: runtime vs probe-filter size (normalised to %dkB baseline)\n",
 		bench, cfg.PFBytes>>10)
 	fmt.Println("PF size   baseline   ALLARM")
-	for _, div := range []int{1, 2, 4} {
-		row := fmt.Sprintf("%5dkB", cfg.PFBytes>>10/div)
-		for _, pol := range []allarm.Policy{allarm.Baseline, allarm.ALLARM} {
-			c := cfg
-			c.Policy = pol
-			c.PFBytes = cfg.PFBytes / div
-			res, err := allarm.Run(c, bench)
-			if err != nil {
-				log.Fatal(err)
-			}
+	for i, size := range sizes {
+		row := fmt.Sprintf("%5dkB", size>>10)
+		for p := 0; p < 2; p++ {
+			res := results[2*i+p].Result
 			row += fmt.Sprintf("   %6.3f", ref.RuntimeNs/res.RuntimeNs)
 		}
 		fmt.Println(row)

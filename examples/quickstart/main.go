@@ -1,8 +1,10 @@
-// Quickstart: run one benchmark under both directory policies and print
-// the paper's headline normalised metrics.
+// Quickstart: run one benchmark under both directory policies — as a
+// two-job Sweep executed in parallel — and print the paper's headline
+// normalised metrics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,10 +15,17 @@ func main() {
 	cfg := allarm.ExperimentConfig()
 	cfg.AccessesPerThread = 30_000 // keep the example snappy
 
-	base, opt, err := allarm.RunPair(cfg, "ocean-cont")
+	// A Sweep is the declarative spec: seed job × each policy.
+	sweep := allarm.NewSweep(allarm.Job{Benchmark: "ocean-cont", Config: cfg}).
+		CrossPolicies(allarm.Baseline, allarm.ALLARM)
+	results, err := allarm.RunSweep(context.Background(), sweep)
+	if err == nil {
+		err = allarm.FirstError(results)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	base, opt := results[0].Result, results[1].Result
 
 	c := allarm.Compare(base, opt)
 	fmt.Println("ocean-cont, 16 threads, baseline vs ALLARM")

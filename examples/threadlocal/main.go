@@ -3,9 +3,13 @@
 // zero directory entries and generates zero coherence traffic — and shows
 // the per-range opt-in (the paper's boot-time range registers) by
 // enabling ALLARM for only half of physical memory.
+//
+// The three machine variants are three hand-built Jobs in one Sweep —
+// the shape to use when a grid combinator doesn't fit.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +23,9 @@ func main() {
 	// fluidanimate has the largest thread-private footprint of the suite.
 	bench := "fluidanimate"
 
-	for _, mode := range []string{"baseline", "allarm (all memory)", "allarm (range disabled)"} {
+	modes := []string{"baseline", "allarm (all memory)", "allarm (range disabled)"}
+	sweep := allarm.NewSweep()
+	for _, mode := range modes {
 		c := cfg
 		switch mode {
 		case "baseline":
@@ -41,11 +47,19 @@ func main() {
 				})
 			}
 		}
-		res, err := allarm.Run(c, bench)
-		if err != nil {
-			log.Fatal(err)
-		}
+		sweep.Add(allarm.Job{Benchmark: bench, Config: c})
+	}
+
+	results, err := allarm.RunSweep(context.Background(), sweep)
+	if err == nil {
+		err = allarm.FirstError(results)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		res := r.Result
 		fmt.Printf("%-24s PF allocs %8d   untracked fills %8d   NoC MB %6.1f\n",
-			mode, res.PFAllocs, res.UntrackedGrants, float64(res.NoCBytes)/1e6)
+			modes[i], res.PFAllocs, res.UntrackedGrants, float64(res.NoCBytes)/1e6)
 	}
 }

@@ -1,6 +1,7 @@
 package allarm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -9,8 +10,8 @@ import (
 	"allarm/internal/stats"
 )
 
-// Experiment identifiers accepted by RunExperiment (one per table/figure
-// of the paper).
+// Experiment identifiers accepted by RunExperiment and ExperimentSweep
+// (one per table/figure of the paper).
 var ExperimentIDs = []string{
 	"table1",
 	"fig2",
@@ -25,48 +26,162 @@ type PairResults struct {
 	Base, Opt *Result
 }
 
+// PairsSweep is the spec behind RunAllPairs and Figure 3: every
+// benchmark under both policies, baseline first.
+func PairsSweep(cfg Config) *Sweep {
+	return NewSweep(Job{Config: cfg}).
+		CrossBenchmarks(Benchmarks()...).
+		CrossPolicies(Baseline, ALLARM)
+}
+
 // RunAllPairs runs every benchmark under both policies at the given
-// configuration.
+// configuration, in parallel across the machine's cores.
 func RunAllPairs(cfg Config) ([]PairResults, error) {
-	var out []PairResults
-	for _, b := range Benchmarks() {
-		base, opt, err := RunPair(cfg, b)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PairResults{Benchmark: b, Base: base, Opt: opt})
+	results, err := RunSweep(context.Background(), PairsSweep(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return pairsOf(results)
+}
+
+// pairsOf folds PairsSweep results (benchmark-major, baseline first)
+// into per-benchmark pairs, failing on the first job error in spec
+// order.
+func pairsOf(results []SweepResult) ([]PairResults, error) {
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	out := make([]PairResults, 0, len(results)/2)
+	for i := 0; i+1 < len(results); i += 2 {
+		out = append(out, PairResults{
+			Benchmark: results[i].Job.Benchmark,
+			Base:      results[i].Result,
+			Opt:       results[i+1].Result,
+		})
 	}
 	return out, nil
 }
 
-// RunExperiment regenerates one of the paper's tables or figures at the
-// given configuration, writing the series the paper plots to w.
-// Unknown ids return an error listing the valid ones.
-func RunExperiment(w io.Writer, cfg Config, id string) error {
+// ExperimentSweep returns the declarative job spec behind one of the
+// paper's tables or figures: the exact simulations the experiment needs,
+// in the order its renderer consumes them. "table1" and "area" run no
+// simulations and return an empty sweep. Unknown ids return an error
+// listing the valid ones.
+func ExperimentSweep(cfg Config, id string) (*Sweep, error) {
 	switch id {
-	case "table1":
-		return expTable1(w, cfg)
+	case "table1", "area":
+		return NewSweep(), nil
 	case "fig2":
-		return expFig2(w, cfg)
+		c := cfg
+		c.Policy = Baseline
+		return NewSweep(Job{Config: c}).CrossBenchmarks(Benchmarks()...), nil
 	case "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g":
-		return expFig3(w, cfg, id)
+		return PairsSweep(cfg), nil
 	case "fig3h":
-		return expFig3h(w, cfg)
+		// Per benchmark: the full-size baseline reference, then ALLARM at
+		// each Figure 3h probe-filter size.
+		s := NewSweep()
+		for _, b := range Benchmarks() {
+			ref := cfg
+			ref.Policy = Baseline
+			s.Add(Job{Benchmark: b, Config: ref})
+			for _, div := range fig3hSizes {
+				c := cfg
+				c.Policy = ALLARM
+				c.PFBytes = cfg.PFBytes / div
+				s.Add(Job{Benchmark: b, Config: c})
+			}
+		}
+		return s, nil
 	case "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f":
-		return expFig4(w, cfg, id)
-	case "area":
-		return expArea(w)
+		policy := fig4Policy(id)
+		// Per benchmark: the panel's policy at each Figure 4 probe-filter
+		// size, normalised to the full-size baseline. For the baseline
+		// panels that reference IS the first grid point, so no extra
+		// reference job is needed; the ALLARM panels prepend it.
+		mp := DefaultMultiProcess()
+		s := NewSweep()
+		for _, b := range MultiProcessBenchmarks() {
+			if policy != Baseline {
+				ref := cfg
+				ref.Policy = Baseline
+				s.Add(Job{Benchmark: b, Config: ref, MultiProcess: &mp})
+			}
+			for _, div := range fig4Divisors {
+				c := cfg
+				c.Policy = policy
+				c.PFBytes = cfg.PFBytes / div
+				s.Add(Job{Benchmark: b, Config: c, MultiProcess: &mp})
+			}
+		}
+		return s, nil
 	default:
 		ids := make([]string, len(ExperimentIDs))
 		copy(ids, ExperimentIDs)
 		sort.Strings(ids)
-		return fmt.Errorf("allarm: unknown experiment %q (have %v)", id, ids)
+		return nil, fmt.Errorf("allarm: unknown experiment %q (have %v)", id, ids)
 	}
 }
 
-// expTable1 prints the simulated-system parameters (Table I), both the
-// paper's values (DefaultConfig) and the harness scale actually used.
-func expTable1(w io.Writer, cfg Config) error {
+// RunExperiment regenerates one of the paper's tables or figures at the
+// given configuration, writing the series the paper plots to w. It is
+// the compatibility shim over the Sweep API: ExperimentSweep(cfg, id)
+// executed by a default Runner (all cores) and rendered by the
+// experiment's table formatter — output is byte-identical to the
+// pre-sweep serial runner, because every simulation is deterministic.
+func RunExperiment(w io.Writer, cfg Config, id string) error {
+	return RunExperimentWith(context.Background(), w, cfg, id, nil)
+}
+
+// RunExperimentWith is RunExperiment with an explicit context and
+// Runner (nil means a default all-cores Runner), for callers that want
+// cancellation, bounded parallelism or progress observation.
+func RunExperimentWith(ctx context.Context, w io.Writer, cfg Config, id string, r *Runner) error {
+	sweep, err := ExperimentSweep(cfg, id)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		r = &Runner{}
+	}
+	results, err := r.Run(ctx, sweep)
+	if err != nil {
+		return err
+	}
+	if err := FirstError(results); err != nil {
+		return err
+	}
+	return renderExperiment(w, cfg, id, results)
+}
+
+// renderExperiment formats the sweep results of experiment id, which
+// must be in ExperimentSweep(cfg, id) spec order.
+func renderExperiment(w io.Writer, cfg Config, id string, results []SweepResult) error {
+	switch id {
+	case "table1":
+		return renderTable1(w, cfg)
+	case "fig2":
+		return renderFig2(w, results)
+	case "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g":
+		pairs, err := pairsOf(results)
+		if err != nil {
+			return err
+		}
+		return renderFig3(w, pairs, id)
+	case "fig3h":
+		return renderFig3h(w, cfg, results)
+	case "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f":
+		return renderFig4(w, cfg, id, results)
+	case "area":
+		return renderArea(w)
+	}
+	return fmt.Errorf("allarm: unknown experiment %q", id)
+}
+
+// renderTable1 prints the simulated-system parameters (Table I), both
+// the paper's values (DefaultConfig) and the harness scale actually
+// used. It consumes no simulation results.
+func renderTable1(w io.Writer, cfg Config) error {
 	t := stats.NewTable("Parameter", "Table I", "This run")
 	d := DefaultConfig()
 	row := func(name, paper, run string) { t.AddRow(name, paper, run) }
@@ -85,28 +200,20 @@ func expTable1(w io.Writer, cfg Config) error {
 	return err
 }
 
-// expFig2 prints the local/remote directory-request split per benchmark.
-func expFig2(w io.Writer, cfg Config) error {
+// renderFig2 prints the local/remote directory-request split per
+// benchmark from one baseline run each.
+func renderFig2(w io.Writer, results []SweepResult) error {
 	t := stats.NewTable("Benchmark", "Local", "Remote")
-	for _, b := range Benchmarks() {
-		cfg.Policy = Baseline
-		res, err := Run(cfg, b)
-		if err != nil {
-			return err
-		}
-		lf := res.LocalFraction()
-		t.AddRow(b, fmt.Sprintf("%.3f", lf), fmt.Sprintf("%.3f", 1-lf))
+	for _, r := range results {
+		lf := r.Result.LocalFraction()
+		t.AddRow(r.Job.Benchmark, fmt.Sprintf("%.3f", lf), fmt.Sprintf("%.3f", 1-lf))
 	}
 	_, err := fmt.Fprint(w, t.String())
 	return err
 }
 
-// expFig3 prints one of the Figure 3 per-benchmark bar charts.
-func expFig3(w io.Writer, cfg Config, id string) error {
-	pairs, err := RunAllPairs(cfg)
-	if err != nil {
-		return err
-	}
+// renderFig3 prints one of the Figure 3 per-benchmark bar charts.
+func renderFig3(w io.Writer, pairs []PairResults, id string) error {
 	switch id {
 	case "fig3a", "fig3b", "fig3c", "fig3e":
 		name := map[string]string{
@@ -125,7 +232,7 @@ func expFig3(w io.Writer, cfg Config, id string) error {
 			vals = append(vals, v)
 			t.AddRow(p.Benchmark, fmt.Sprintf("%.3f", v))
 		}
-		t.AddRow("geomean", fmt.Sprintf("%.3f", geomeanNonZero(vals)))
+		t.AddRow("geomean", fmt.Sprintf("%.3f", stats.GeomeanNonZero(vals)))
 		_, err := fmt.Fprint(w, t.String())
 		return err
 	case "fig3d":
@@ -164,48 +271,25 @@ func expFig3(w io.Writer, cfg Config, id string) error {
 	return fmt.Errorf("allarm: bad fig3 id %q", id)
 }
 
-// geomeanNonZero takes the geometric mean of the positive entries
-// (benchmarks where ALLARM eliminates evictions entirely plot as zero and
-// cannot enter a geomean, as in the paper's figures).
-func geomeanNonZero(xs []float64) float64 {
-	var pos []float64
-	for _, x := range xs {
-		if x > 0 {
-			pos = append(pos, x)
-		}
-	}
-	return stats.Geomean(pos)
-}
-
 // fig3hSizes are the probe-filter coverages of Figure 3h, expressed as
 // fractions of the configured size (the paper: 512/256/128 kB).
 var fig3hSizes = []int{1, 2, 4}
 
-// expFig3h prints speedup (vs the full-size baseline) per benchmark for
-// shrinking probe filters under ALLARM.
-func expFig3h(w io.Writer, cfg Config) error {
+// renderFig3h prints speedup (vs the full-size baseline) per benchmark
+// for shrinking probe filters under ALLARM. Results are benchmark-major:
+// the reference run, then one ALLARM run per size.
+func renderFig3h(w io.Writer, cfg Config, results []SweepResult) error {
 	header := []string{"Benchmark"}
 	for _, div := range fig3hSizes {
 		header = append(header, fmt.Sprintf("%dkB", cfg.PFBytes>>10/div))
 	}
 	t := stats.NewTable(header...)
-	for _, b := range Benchmarks() {
-		c := cfg
-		c.Policy = Baseline
-		ref, err := Run(c, b)
-		if err != nil {
-			return err
-		}
-		row := []string{b}
-		for _, div := range fig3hSizes {
-			c := cfg
-			c.Policy = ALLARM
-			c.PFBytes = cfg.PFBytes / div
-			res, err := Run(c, b)
-			if err != nil {
-				return err
-			}
-			row = append(row, fmt.Sprintf("%.3f", ref.RuntimeNs/res.RuntimeNs))
+	stride := 1 + len(fig3hSizes)
+	for i := 0; i+stride-1 < len(results); i += stride {
+		ref := results[i].Result
+		row := []string{results[i].Job.Benchmark}
+		for k := 1; k < stride; k++ {
+			row = append(row, fmt.Sprintf("%.3f", ref.RuntimeNs/results[i+k].Result.RuntimeNs))
 		}
 		t.AddRow(row...)
 	}
@@ -217,14 +301,21 @@ func expFig3h(w io.Writer, cfg Config) error {
 // (the paper: 512, 256, 128, 64, 32 kB).
 var fig4Divisors = []int{1, 2, 4, 8, 16}
 
-// expFig4 prints one multi-process panel: speedup / normalised evictions
-// / normalised traffic versus probe-filter size, for the baseline
-// (fig4a-c) or ALLARM (fig4d-f), normalised to the full-size baseline.
-func expFig4(w io.Writer, cfg Config, id string) error {
-	policy := Baseline
+// fig4Policy returns the directory policy of a Figure 4 panel.
+func fig4Policy(id string) Policy {
 	if id == "fig4d" || id == "fig4e" || id == "fig4f" {
-		policy = ALLARM
+		return ALLARM
 	}
+	return Baseline
+}
+
+// renderFig4 prints one multi-process panel: speedup / normalised
+// evictions / normalised traffic versus probe-filter size, for the
+// baseline (fig4a-c) or ALLARM (fig4d-f), normalised to the full-size
+// baseline. Results are benchmark-major, mirroring ExperimentSweep: for
+// ALLARM panels the baseline reference run leads each group; for
+// baseline panels the first grid point is the reference.
+func renderFig4(w io.Writer, cfg Config, id string, results []SweepResult) error {
 	metric := map[string]string{
 		"fig4a": "speedup", "fig4b": "evictions", "fig4c": "traffic",
 		"fig4d": "speedup", "fig4e": "evictions", "fig4f": "traffic",
@@ -235,24 +326,16 @@ func expFig4(w io.Writer, cfg Config, id string) error {
 		header = append(header, fmt.Sprintf("%dkB", cfg.PFBytes>>10/div))
 	}
 	t := stats.NewTable(header...)
-	mp := DefaultMultiProcess()
-	for _, b := range MultiProcessBenchmarks() {
-		// Reference: full-size probe filter, baseline policy.
-		c := cfg
-		c.Policy = Baseline
-		ref, err := RunMultiProcess(c, mp, b)
-		if err != nil {
-			return err
-		}
-		row := []string{b}
-		for _, div := range fig4Divisors {
-			c := cfg
-			c.Policy = policy
-			c.PFBytes = cfg.PFBytes / div
-			res, err := RunMultiProcess(c, mp, b)
-			if err != nil {
-				return err
-			}
+	lead := 0 // extra reference job ahead of each group's grid points
+	if fig4Policy(id) != Baseline {
+		lead = 1
+	}
+	stride := lead + len(fig4Divisors)
+	for i := 0; i+stride-1 < len(results); i += stride {
+		ref := results[i].Result
+		row := []string{results[i].Job.Benchmark}
+		for k := lead; k < stride; k++ {
+			res := results[i+k].Result
 			var v float64
 			switch metric {
 			case "speedup":
@@ -270,9 +353,9 @@ func expFig4(w io.Writer, cfg Config, id string) error {
 	return err
 }
 
-// expArea prints the probe-filter area table (§III-B), paper versus the
-// calibrated power-law model.
-func expArea(w io.Writer) error {
+// renderArea prints the probe-filter area table (§III-B), paper versus
+// the calibrated power-law model.
+func renderArea(w io.Writer) error {
 	t := stats.NewTable("PF Configuration", "Paper (mm2)", "Model (mm2)")
 	for _, kb := range []int{512, 256, 128, 64, 32} {
 		bytes := kb << 10

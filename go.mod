@@ -1,0 +1,3 @@
+module allarm
+
+go 1.24

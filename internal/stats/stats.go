@@ -77,6 +77,21 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
+// GeomeanNonZero returns the geometric mean of the positive entries of
+// xs, ignoring zeros and negatives (0 when none are positive). Published
+// figures use this when a series legitimately contains zeros — e.g. a
+// benchmark whose optimised run eliminates an event class entirely plots
+// as 0 and cannot enter a geomean.
+func GeomeanNonZero(xs []float64) float64 {
+	var pos []float64
+	for _, x := range xs {
+		if x > 0 {
+			pos = append(pos, x)
+		}
+	}
+	return Geomean(pos)
+}
+
 // Sum returns the sum of xs.
 func Sum(xs []float64) float64 {
 	s := 0.0

@@ -62,6 +62,26 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestGeomeanNonZero(t *testing.T) {
+	if g := GeomeanNonZero([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeomeanNonZero(2,8) = %v", g)
+	}
+	// Zeros are dropped, not poisonous (unlike Geomean).
+	if g := GeomeanNonZero([]float64{2, 0, 8, 0}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeomeanNonZero with zeros = %v, want 4", g)
+	}
+	// Negatives are dropped too.
+	if g := GeomeanNonZero([]float64{-3, 2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeomeanNonZero with negative = %v, want 4", g)
+	}
+	if g := GeomeanNonZero([]float64{0, 0}); g != 0 {
+		t.Fatalf("GeomeanNonZero(all zero) = %v, want 0", g)
+	}
+	if g := GeomeanNonZero(nil); g != 0 {
+		t.Fatalf("GeomeanNonZero(nil) = %v, want 0", g)
+	}
+}
+
 func TestGeomeanBetweenMinAndMax(t *testing.T) {
 	f := func(raw []float64) bool {
 		var xs []float64

@@ -29,8 +29,8 @@ var MultiProcessNames = []string{
 // Benchmark builds the named benchmark's generator for the given thread
 // count and per-thread access budget. The parameterisations are
 // calibrated so that the simulated local/remote directory-request mix
-// approximates Figure 2 of the paper; see EXPERIMENTS.md for the
-// calibration table.
+// approximates Figure 2 of the paper (`allarm-bench -exp fig2` prints
+// the measured mix next to each benchmark).
 func Benchmark(name string, threads, accesses int) (*Synthetic, error) {
 	p, ok := presets[name]
 	if !ok {

@@ -1,6 +1,7 @@
 package allarm
 
 import (
+	"context"
 	"fmt"
 
 	"allarm/internal/mem"
@@ -69,20 +70,19 @@ func runWorkload(cfg Config, wl *workload.Synthetic) (*Result, error) {
 }
 
 // RunPair runs the same benchmark and seed under the baseline and ALLARM
-// policies, returning both results for normalised comparisons.
+// policies (concurrently), returning both results for normalised
+// comparisons.
 func RunPair(cfg Config, benchmark string) (base, opt *Result, err error) {
-	c := cfg
-	c.Policy = Baseline
-	base, err = Run(c, benchmark)
+	s := NewSweep(Job{Benchmark: benchmark, Config: cfg}).
+		CrossPolicies(Baseline, ALLARM)
+	results, err := RunSweep(context.Background(), s)
 	if err != nil {
 		return nil, nil, err
 	}
-	c.Policy = ALLARM
-	opt, err = Run(c, benchmark)
-	if err != nil {
+	if err := FirstError(results); err != nil {
 		return nil, nil, err
 	}
-	return base, opt, nil
+	return results[0].Result, results[1].Result, nil
 }
 
 // MultiProcessConfig adapts cfg for the paper's multi-process experiment

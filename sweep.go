@@ -1,0 +1,217 @@
+package allarm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one simulation to run: a benchmark under a configuration,
+// optionally in the paper's multi-process mode. Jobs are plain values —
+// build them directly or derive grids with the Sweep combinators.
+type Job struct {
+	// Benchmark names the workload (see Benchmarks and
+	// MultiProcessBenchmarks).
+	Benchmark string
+	// Config is the machine and workload scale for this job.
+	Config Config
+	// MultiProcess, when non-nil, runs the job through RunMultiProcess
+	// (Figure 4 mode) instead of Run.
+	MultiProcess *MultiProcessConfig
+}
+
+// Run executes the job and returns its metrics.
+func (j Job) Run() (*Result, error) {
+	if j.MultiProcess != nil {
+		return RunMultiProcess(j.Config, *j.MultiProcess, j.Benchmark)
+	}
+	return Run(j.Config, j.Benchmark)
+}
+
+// key returns a fingerprint identifying the simulation the job performs,
+// used by Dedup. Two jobs with the same key produce identical Results.
+func (j Job) key() string {
+	mp := MultiProcessConfig{}
+	if j.MultiProcess != nil {
+		mp = *j.MultiProcess
+	}
+	return fmt.Sprintf("%s|%t|%+v|%+v", j.Benchmark, j.MultiProcess != nil, mp, j.Config)
+}
+
+// Sweep is an ordered list of jobs — the declarative spec of an
+// experiment grid. Start from one or more seed jobs and expand with the
+// Cross* combinators; each combinator replaces every job with one copy
+// per supplied value, preserving order (earlier jobs stay earlier, and
+// supplied values expand in argument order):
+//
+//	s := allarm.NewSweep(allarm.Job{Config: cfg}).
+//		CrossBenchmarks(allarm.Benchmarks()...).
+//		CrossPolicies(allarm.Baseline, allarm.ALLARM)
+//
+// yields b0/baseline, b0/allarm, b1/baseline, ... Results come back from
+// a Runner in exactly this spec order.
+type Sweep struct {
+	Jobs []Job
+}
+
+// NewSweep returns a sweep of the given seed jobs.
+func NewSweep(jobs ...Job) *Sweep {
+	return &Sweep{Jobs: jobs}
+}
+
+// Add appends jobs to the sweep and returns it for chaining.
+func (s *Sweep) Add(jobs ...Job) *Sweep {
+	s.Jobs = append(s.Jobs, jobs...)
+	return s
+}
+
+// Len returns the number of jobs in the sweep.
+func (s *Sweep) Len() int { return len(s.Jobs) }
+
+// cross replaces every job with n variants produced by set(job, i).
+func (s *Sweep) cross(n int, set func(*Job, int)) *Sweep {
+	if n == 0 {
+		s.Jobs = nil
+		return s
+	}
+	out := make([]Job, 0, len(s.Jobs)*n)
+	for _, j := range s.Jobs {
+		for i := 0; i < n; i++ {
+			v := j
+			set(&v, i)
+			out = append(out, v)
+		}
+	}
+	s.Jobs = out
+	return s
+}
+
+// CrossBenchmarks expands every job into one copy per benchmark name.
+func (s *Sweep) CrossBenchmarks(names ...string) *Sweep {
+	return s.cross(len(names), func(j *Job, i int) { j.Benchmark = names[i] })
+}
+
+// CrossPolicies expands every job into one copy per directory policy.
+func (s *Sweep) CrossPolicies(policies ...Policy) *Sweep {
+	return s.cross(len(policies), func(j *Job, i int) { j.Config.Policy = policies[i] })
+}
+
+// CrossPFSizes expands every job into one copy per probe-filter coverage
+// (in bytes).
+func (s *Sweep) CrossPFSizes(bytes ...int) *Sweep {
+	return s.cross(len(bytes), func(j *Job, i int) { j.Config.PFBytes = bytes[i] })
+}
+
+// Dedup removes jobs that would repeat an identical simulation (same
+// benchmark, mode and configuration), keeping first occurrences in
+// order. Useful when concatenating overlapping experiment specs.
+func (s *Sweep) Dedup() *Sweep {
+	seen := make(map[string]bool, len(s.Jobs))
+	out := s.Jobs[:0]
+	for _, j := range s.Jobs {
+		k := j.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, j)
+	}
+	s.Jobs = out
+	return s
+}
+
+// SweepResult pairs one job of a sweep with its outcome: exactly one of
+// Result and Err is non-nil (except for jobs skipped by cancellation,
+// which carry the context's error).
+type SweepResult struct {
+	Job    Job
+	Result *Result
+	Err    error
+}
+
+// Runner executes sweeps over a worker pool. The zero value is ready to
+// use: NumCPU workers, no progress reporting.
+type Runner struct {
+	// Parallelism is the worker count; <= 0 means runtime.NumCPU().
+	// Simulations are deterministic and independent, so results are
+	// identical for every parallelism level.
+	Parallelism int
+	// Progress, when non-nil, is called after each job finishes with the
+	// number of jobs done so far, the sweep size, and the finished
+	// result. Calls are serialised; done reaches total exactly once.
+	Progress func(done, total int, r SweepResult)
+}
+
+// Run executes every job of the sweep and returns the results in spec
+// order, regardless of completion order. One job failing does not stop
+// the others: per-job errors are recorded in the corresponding
+// SweepResult (see FirstError). Cancelling ctx stops the sweep promptly;
+// jobs not yet started report ctx's error, and Run's own error is ctx's
+// error (nil on a completed sweep).
+func (r *Runner) Run(ctx context.Context, s *Sweep) ([]SweepResult, error) {
+	jobs := s.Jobs
+	out := make([]SweepResult, len(jobs))
+	workers := r.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		next int64 = -1 // atomically claimed job index
+		done int        // progress counter, guarded by mu
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	finish := func(i int, sr SweepResult) {
+		out[i] = sr
+		if r.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		r.Progress(done, len(jobs), sr)
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					finish(i, SweepResult{Job: jobs[i], Err: err})
+					continue
+				}
+				res, err := jobs[i].Run()
+				finish(i, SweepResult{Job: jobs[i], Result: res, Err: err})
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// RunSweep executes the sweep with a default Runner (NumCPU workers).
+func RunSweep(ctx context.Context, s *Sweep) ([]SweepResult, error) {
+	return (&Runner{}).Run(ctx, s)
+}
+
+// FirstError returns the first per-job error of the results in spec
+// order, or nil if every job succeeded. It is the bridge to the
+// fail-fast error contract of the pre-sweep API.
+func FirstError(results []SweepResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
