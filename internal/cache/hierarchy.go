@@ -62,6 +62,10 @@ type Hierarchy struct {
 	l1    *Cache
 	l2    *Cache
 	stats HierStats
+
+	// victims is the scratch buffer Access and Fill return their victim
+	// lists in, reused across calls so the hot path does not allocate.
+	victims []Victim
 }
 
 // NewHierarchy builds the private hierarchy with the given capacities and
@@ -89,7 +93,9 @@ type AccessResult struct {
 	// that found the line) and 0 for a full miss. It drives hit latency.
 	Level int
 	// Victims are lines evicted by an L2→L1 swap that need coherence
-	// actions.
+	// actions. The slice aliases a scratch buffer that the next Access or
+	// Fill call overwrites; consume it before touching the hierarchy
+	// again.
 	Victims []Victim
 }
 
@@ -107,24 +113,25 @@ type AccessResult struct {
 func (h *Hierarchy) Access(lineAddr mem.PAddr, write bool) AccessResult {
 	lineAddr = mem.LineOf(lineAddr)
 	h.stats.Accesses++
+	h.victims = h.victims[:0]
 
 	if l := h.l1.Lookup(lineAddr); l != nil {
-		out, more := h.hitPathNoCount(l, write)
+		out := h.hitPath(l, write)
 		h.countHit(out, 1)
-		return AccessResult{Outcome: out, Level: 1, Victims: more}
+		return AccessResult{Outcome: out, Level: 1}
 	}
 	if l2line := h.l2.Peek(lineAddr); l2line != nil {
 		// Exclusive hierarchy: move the line up to L1, demote the L1
 		// victim to L2.
 		moved, _ := h.l2.Remove(lineAddr)
-		victims := h.insertL1(moved)
+		h.insertL1(moved)
 		l := h.l1.Lookup(lineAddr)
 		if l == nil {
 			panic("cache: line vanished during L2→L1 swap")
 		}
-		out, more := h.hitPathNoCount(l, write)
+		out := h.hitPath(l, write)
 		h.countHit(out, 2)
-		return AccessResult{Outcome: out, Level: 2, Victims: append(victims, more...)}
+		return AccessResult{Outcome: out, Level: 2, Victims: h.victims}
 	}
 	h.stats.Misses++
 	return AccessResult{Outcome: Miss}
@@ -143,49 +150,49 @@ func (h *Hierarchy) countHit(out AccessOutcome, level int) {
 	}
 }
 
-// hitPathNoCount applies store-upgrade rules to a present line.
-func (h *Hierarchy) hitPathNoCount(l *Line, write bool) (AccessOutcome, []Victim) {
+// hitPath applies store-upgrade rules to a present line.
+func (h *Hierarchy) hitPath(l *Line, write bool) AccessOutcome {
 	if !write {
-		return Hit, nil
+		return Hit
 	}
 	switch l.State {
 	case Modified:
-		return Hit, nil
+		return Hit
 	case Exclusive:
 		l.State = Modified // silent E→M upgrade
-		return Hit, nil
+		return Hit
 	case Shared, Owned:
-		return UpgradeMiss, nil
+		return UpgradeMiss
 	default:
 		panic("cache: invalid state on hit path")
 	}
 }
 
 // insertL1 inserts a line into L1, demoting any L1 victim into L2 and
-// returning L2 victims that require coherence actions.
-func (h *Hierarchy) insertL1(line Line) []Victim {
-	var victims []Victim
+// appending L2 victims that require coherence actions to the scratch
+// buffer.
+func (h *Hierarchy) insertL1(line Line) {
 	if v, evicted := h.l1.Insert(line); evicted {
 		if v2, evicted2 := h.l2.Insert(v); evicted2 {
 			if v2.State == Shared {
 				// Silent drop; Hammer directories do not track sharers.
 			} else {
-				victims = append(victims, Victim{
+				h.victims = append(h.victims, Victim{
 					Addr: v2.Addr, State: v2.State,
 					Untracked: v2.Untracked, Version: v2.Version,
 				})
 			}
 		}
 	}
-	return victims
 }
 
 // Fill completes a miss: the granted line enters L1 with the given state
 // and data version. For upgrade grants where the line is still present,
 // the state is updated in place. Victims evicted to make room are
-// returned.
+// returned; as with Access, the slice aliases a reused scratch buffer.
 func (h *Hierarchy) Fill(lineAddr mem.PAddr, st State, untracked bool, version uint64) []Victim {
 	lineAddr = mem.LineOf(lineAddr)
+	h.victims = h.victims[:0]
 	if l := h.l1.Peek(lineAddr); l != nil {
 		l.State = st
 		l.Untracked = untracked
@@ -198,9 +205,11 @@ func (h *Hierarchy) Fill(lineAddr mem.PAddr, st State, untracked bool, version u
 		moved.State = st
 		moved.Untracked = untracked
 		moved.Version = version
-		return h.insertL1(moved)
+		h.insertL1(moved)
+		return h.victims
 	}
-	return h.insertL1(Line{Addr: lineAddr, State: st, Untracked: untracked, Version: version})
+	h.insertL1(Line{Addr: lineAddr, State: st, Untracked: untracked, Version: version})
+	return h.victims
 }
 
 // ProbeState reports the current state of lineAddr without side effects.

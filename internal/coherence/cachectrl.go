@@ -37,7 +37,15 @@ type CacheCtrl struct {
 	serviceTime sim.Time
 	nextFree    sim.Time
 
-	pending *mshr
+	// pending is the single outstanding demand miss, held inline so a
+	// miss costs no allocation.
+	pending    mshr
+	hasPending bool
+
+	// pool recycles the messages this controller sends; sends recycles
+	// the deferred-send records for messages injected at array release.
+	pool  MsgPool
+	sends sim.FreeList[sendEvent]
 
 	// OnStore and OnLoad, when non-nil, observe every committed store
 	// (with the line's new version) and completed load (with the version
@@ -55,6 +63,23 @@ type mshr struct {
 	write  bool
 	issued sim.Time
 	done   func(now sim.Time)
+}
+
+// sendEvent injects a message when the cache arrays release it. Records
+// are recycled through the controller's free list, so deferred sends
+// allocate nothing in steady state.
+type sendEvent struct {
+	c *CacheCtrl
+	m *Msg
+}
+
+// Handle implements sim.Handler: return the record first, then send (the
+// send may itself schedule more deferred sends and reuse the record).
+func (s *sendEvent) Handle(now sim.Time) {
+	c, m := s.c, s.m
+	s.m = nil
+	c.sends.Put(s)
+	c.port.Send(m)
 }
 
 // NewCacheCtrl builds a controller for node over hier, sending messages
@@ -80,7 +105,11 @@ func (c *CacheCtrl) Hierarchy() *cache.Hierarchy { return c.hier }
 func (c *CacheCtrl) Stats() CtrlStats { return c.stats }
 
 // HasPending reports whether a demand miss is outstanding (test helper).
-func (c *CacheCtrl) HasPending() bool { return c.pending != nil }
+func (c *CacheCtrl) HasPending() bool { return c.hasPending }
+
+// PoolStats returns the controller's message-pool counters (tests,
+// recycle diagnostics).
+func (c *CacheCtrl) PoolStats() MsgPoolStats { return c.pool.Stats() }
 
 // ResetStats zeroes the controller and hierarchy counters, keeping cache
 // contents (measurement begins after warmup).
@@ -105,7 +134,7 @@ func (c *CacheCtrl) occupy(now sim.Time) sim.Time {
 // full coherence transaction for misses). At most one access may be
 // outstanding.
 func (c *CacheCtrl) CoreAccess(now sim.Time, addr mem.PAddr, write bool, done func(now sim.Time)) {
-	if c.pending != nil {
+	if c.hasPending {
 		panic(fmt.Sprintf("coherence: node %d issued a second outstanding access", c.node))
 	}
 	addr = mem.LineOf(addr)
@@ -140,14 +169,17 @@ func (c *CacheCtrl) CoreAccess(now sim.Time, addr mem.PAddr, write bool, done fu
 	if write {
 		op = GetM
 	}
-	c.pending = &mshr{addr: addr, write: write, issued: now, done: done}
+	c.pending = mshr{addr: addr, write: write, issued: now, done: done}
+	c.hasPending = true
 	c.stats.Requests++
-	c.port.Send(&Msg{
-		Op: op, Addr: addr, Src: c.node, Dst: c.home(addr), ToDir: true,
-	})
+	m := c.pool.Get()
+	m.Op, m.Addr, m.Src, m.Dst, m.ToDir = op, addr, c.node, c.home(addr), true
+	c.port.Send(m)
 }
 
 // HandleMsg processes a message delivered to this node's cache controller.
+// The controller is the message's final owner: it releases m (back to the
+// sender's pool) once the handling flow has consumed it.
 func (c *CacheCtrl) HandleMsg(now sim.Time, m *Msg) {
 	switch m.Op {
 	case DataMsg:
@@ -157,14 +189,16 @@ func (c *CacheCtrl) HandleMsg(now sim.Time, m *Msg) {
 	default:
 		panic(fmt.Sprintf("coherence: cache controller received %v", m))
 	}
+	m.Release()
 }
 
 func (c *CacheCtrl) handleFill(now sim.Time, m *Msg) {
-	p := c.pending
-	if p == nil || p.addr != m.Addr {
+	if !c.hasPending || c.pending.addr != m.Addr {
 		panic(fmt.Sprintf("coherence: node %d fill %v without matching MSHR", c.node, m))
 	}
-	c.pending = nil
+	p := c.pending
+	c.pending = mshr{}
+	c.hasPending = false
 	c.stats.Fills++
 	if m.Untracked {
 		c.stats.UntrackedFills++
@@ -200,10 +234,10 @@ func (c *CacheCtrl) handleFill(now sim.Time, m *Msg) {
 	// keeps the line busy until this arrives, which guarantees any probe
 	// we receive for a line with a pending MSHR belongs to an older
 	// transaction and can be answered from current state.
-	c.port.Send(&Msg{
-		Op: CmpAck, Addr: m.Addr, Src: c.node, Dst: c.home(m.Addr), ToDir: true,
-		TxnID: m.TxnID,
-	})
+	cmp := c.pool.Get()
+	cmp.Op, cmp.Addr, cmp.Src, cmp.Dst, cmp.ToDir = CmpAck, m.Addr, c.node, c.home(m.Addr), true
+	cmp.TxnID = m.TxnID
+	c.port.Send(cmp)
 	c.eng.At(t, p.done)
 }
 
@@ -239,16 +273,15 @@ func (c *CacheCtrl) handleProbe(now sim.Time, m *Msg) {
 		c.hier.Downgrade(m.Addr)
 	}
 
-	ack := &Msg{
-		Op: Ack, Addr: m.Addr, Src: c.node, Dst: m.Src, ToDir: true,
-		Hit: prev.Valid(), PrevState: prev, Version: version, TxnID: m.TxnID,
-	}
+	ack := c.pool.Get()
+	ack.Op, ack.Addr, ack.Src, ack.Dst, ack.ToDir = Ack, m.Addr, c.node, m.Src, true
+	ack.Hit, ack.PrevState, ack.Version, ack.TxnID = prev.Valid(), prev, version, m.TxnID
 	if owner && m.ForwardTo != NoNode {
 		// Cache-to-cache transfer straight to the requester.
-		c.sendAt(t, &Msg{
-			Op: DataMsg, Addr: m.Addr, Src: c.node, Dst: m.ForwardTo,
-			Grant: m.Grant, Version: version, TxnID: m.TxnID,
-		})
+		data := c.pool.Get()
+		data.Op, data.Addr, data.Src, data.Dst = DataMsg, m.Addr, c.node, m.ForwardTo
+		data.Grant, data.Version, data.TxnID = m.Grant, version, m.TxnID
+		c.sendAt(t, data)
 	} else if owner && dirty {
 		// Back-invalidation (or downgrade) with no requester: dirty data
 		// returns to the home for DRAM writeback.
@@ -265,7 +298,9 @@ func (c *CacheCtrl) sendAt(t sim.Time, m *Msg) {
 		c.port.Send(m)
 		return
 	}
-	c.eng.At(t, func(sim.Time) { c.port.Send(m) })
+	s := c.sends.Get()
+	s.c, s.m = c, m
+	c.eng.Schedule(t, s)
 }
 
 // sendPuts issues eviction notifications for hierarchy victims: PutM for
@@ -277,16 +312,16 @@ func (c *CacheCtrl) sendPuts(victims []cache.Victim) {
 		switch v.State {
 		case cache.Modified, cache.Owned:
 			c.stats.PutMs++
-			c.port.Send(&Msg{
-				Op: PutM, Addr: v.Addr, Src: c.node, Dst: c.home(v.Addr), ToDir: true,
-				Dirty: true, Version: v.Version, PrevState: v.State,
-			})
+			m := c.pool.Get()
+			m.Op, m.Addr, m.Src, m.Dst, m.ToDir = PutM, v.Addr, c.node, c.home(v.Addr), true
+			m.Dirty, m.Version, m.PrevState = true, v.Version, v.State
+			c.port.Send(m)
 		case cache.Exclusive:
 			c.stats.PutEs++
-			c.port.Send(&Msg{
-				Op: PutE, Addr: v.Addr, Src: c.node, Dst: c.home(v.Addr), ToDir: true,
-				PrevState: v.State,
-			})
+			m := c.pool.Get()
+			m.Op, m.Addr, m.Src, m.Dst, m.ToDir = PutE, v.Addr, c.node, c.home(v.Addr), true
+			m.PrevState = v.State
+			c.port.Send(m)
 		default:
 			panic(fmt.Sprintf("coherence: victim in unexpected state %v", v.State))
 		}

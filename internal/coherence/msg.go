@@ -125,6 +125,11 @@ type Msg struct {
 	Version uint64
 	// TxnID matches probe acknowledgements to directory transactions.
 	TxnID uint64
+
+	// pool, when non-nil, is the free list that owns this message; freed
+	// guards the recycle discipline against double release.
+	pool  *MsgPool
+	freed bool
 }
 
 // String renders a compact description for debugging and test failures.
@@ -140,6 +145,69 @@ func (m *Msg) String() string {
 // implements it on top of the NoC, computing latencies and scheduling the
 // destination controller's handler.
 type Port interface {
-	// Send enqueues m for delivery. Ownership of m transfers to the port.
+	// Send enqueues m for delivery. Ownership of m transfers to the port
+	// and then to the receiving controller, which calls Release once it
+	// is done with the message (directly after processing, or — for
+	// requests the directory parks in a transaction or waiter queue — at
+	// transaction completion).
 	Send(m *Msg)
+}
+
+// MsgPool is a LIFO free list of coherence messages. Controllers allocate
+// every message they send from their own pool and the receiving
+// controller releases it when its flow no longer needs it, so steady-state
+// simulation recycles a small working set instead of allocating per
+// message.
+//
+// A pool is NOT safe for concurrent use — but it never needs to be: all
+// controllers of one simulated machine share that machine's single event
+// goroutine, and messages never cross machines. Parallel sweeps run one
+// machine (and therefore one set of pools) per worker; the pool-recycle
+// tests run such sweeps under -race to enforce this.
+type MsgPool struct {
+	free  []*Msg
+	stats MsgPoolStats
+}
+
+// MsgPoolStats counts pool activity; News≪Gets means recycling works.
+type MsgPoolStats struct {
+	News uint64 // messages freshly allocated from the Go heap
+	Gets uint64 // messages handed out (fresh + recycled)
+	Puts uint64 // messages returned for reuse
+}
+
+// Stats returns a copy of the pool counters.
+func (p *MsgPool) Stats() MsgPoolStats { return p.stats }
+
+// Get returns a zeroed message owned by p. Pass it to Port.Send as usual;
+// the receiver returns it with Release.
+func (p *MsgPool) Get() *Msg {
+	p.stats.Gets++
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*m = Msg{pool: p}
+		return m
+	}
+	p.stats.News++
+	return &Msg{pool: p}
+}
+
+// Release returns m to the pool that created it. Messages built directly
+// with &Msg{} (tests, tools) have no pool and are left to the garbage
+// collector. Releasing a pooled message twice panics: it means two flows
+// believe they own the message, which would corrupt protocol state once
+// the slot is recycled.
+func (m *Msg) Release() {
+	p := m.pool
+	if p == nil {
+		return
+	}
+	if m.freed {
+		panic(fmt.Sprintf("coherence: message %v released twice", m))
+	}
+	m.freed = true
+	p.stats.Puts++
+	p.free = append(p.free, m)
 }

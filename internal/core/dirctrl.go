@@ -143,6 +143,13 @@ type DirCtrl struct {
 	dramVer map[mem.PAddr]uint64
 	txnSeq  uint64
 
+	// pool recycles the messages this directory sends; events and txns
+	// recycle scheduled-event records and transaction objects, so the
+	// steady-state request flow allocates nothing.
+	pool   coherence.MsgPool
+	events sim.FreeList[dirEvent]
+	txns   sim.FreeList[txn]
+
 	// nextFree models the controller's occupancy: every message the
 	// directory processes (requests, probes' acks, puts) holds the
 	// pipeline for one LookupLatency, so back-invalidation storms congest
@@ -187,6 +194,10 @@ func (d *DirCtrl) DRAM() *dram.Controller { return d.dram }
 // Stats returns a copy of the directory statistics.
 func (d *DirCtrl) Stats() DirStats { return d.stats }
 
+// PoolStats returns the directory's message-pool counters (tests,
+// recycle diagnostics).
+func (d *DirCtrl) PoolStats() coherence.MsgPoolStats { return d.pool.Stats() }
+
 // ResetStats zeroes the directory counters (including the probe
 // filter's), keeping all protocol state; measurement begins after warmup.
 func (d *DirCtrl) ResetStats() {
@@ -217,18 +228,86 @@ func (d *DirCtrl) occupy(now sim.Time) sim.Time {
 	return d.nextFree
 }
 
-// HandleMsg processes a message addressed to this directory.
+// dirEvent is one scheduled directory occurrence: a transaction dispatch,
+// a DRAM completion, a deferred ack, or an allocation retry. Records are
+// recycled through the controller's free list. Transaction-bound kinds
+// carry the transaction id observed at scheduling time; a mismatch at
+// fire time means the transaction restarted (or finished and was
+// recycled) and the event is stale.
+type dirEvent struct {
+	d    *DirCtrl
+	kind uint8
+	t    *txn
+	id   uint64
+	m    *Msg
+}
+
+const (
+	evDispatch uint8 = iota
+	evDRAM
+	evAck
+	evRetry
+)
+
+// Handle implements sim.Handler: the record is returned to the free list
+// before the flow runs, so re-entrant scheduling can reuse it.
+func (ev *dirEvent) Handle(now sim.Time) {
+	d, kind, t, id, m := ev.d, ev.kind, ev.t, ev.id, ev.m
+	ev.t, ev.m = nil, nil
+	d.events.Put(ev)
+	switch kind {
+	case evDispatch:
+		if cur, ok := d.busy[t.addr]; !ok || cur != t || t.id != id {
+			return // superseded (defensive; should not happen)
+		}
+		d.dispatch(now, t)
+	case evDRAM:
+		if cur := d.busy[t.addr]; cur != t || t.id != id {
+			return // transaction restarted; the stale read is discarded
+		}
+		t.dramDone = true
+		t.dramDoneAt = now
+		d.maybeSendData(t)
+		d.tryComplete(now, t)
+	case evAck:
+		d.handleAck(now, m)
+		m.Release()
+	case evRetry:
+		if cur := d.busy[t.addr]; cur == t && t.id == id {
+			d.dispatch(now, t)
+		}
+	}
+}
+
+// schedule queues a directory event of the given kind at time at, using a
+// recycled record when one is free.
+func (d *DirCtrl) schedule(at sim.Time, kind uint8, t *txn, m *Msg) {
+	ev := d.events.Get()
+	ev.d, ev.kind, ev.t, ev.m = d, kind, t, m
+	if t != nil {
+		ev.id = t.id
+	}
+	d.eng.Schedule(at, ev)
+}
+
+// HandleMsg processes a message addressed to this directory. The
+// directory is the message's final owner. Most opcodes are consumed
+// within the call and released immediately; acks are released after
+// their deferred processing fires, and requests are retained (in the
+// active transaction or the waiter queue) until their transaction
+// finishes.
 func (d *DirCtrl) HandleMsg(now sim.Time, m *Msg) {
 	switch m.Op {
 	case coherence.GetS, coherence.GetM:
 		d.handleRequest(now, m)
 	case coherence.PutM, coherence.PutE:
 		d.handlePut(now, m)
+		m.Release()
 	case coherence.Ack, coherence.AckData:
-		at := d.occupy(now)
-		d.eng.At(at, func(now sim.Time) { d.handleAck(now, m) })
+		d.schedule(d.occupy(now), evAck, nil, m)
 	case coherence.CmpAck:
 		d.handleCmpAck(m)
+		m.Release()
 	default:
 		panic(fmt.Sprintf("core: directory received %v", m))
 	}
@@ -251,21 +330,21 @@ func (d *DirCtrl) handleRequest(now sim.Time, m *Msg) {
 	d.scheduleDispatch(t)
 }
 
+// newTxn returns a fresh transaction, recycling a finished one when the
+// free list has any. Ids stay globally unique across recycling, so stale
+// scheduled events referencing a recycled object fail their id check.
 func (d *DirCtrl) newTxn(kind txnKind, addr mem.PAddr) *txn {
 	d.txnSeq++
-	return &txn{id: d.txnSeq, kind: kind, addr: addr}
+	t := d.txns.Get()
+	*t = txn{}
+	t.id, t.kind, t.addr = d.txnSeq, kind, addr
+	return t
 }
 
 // scheduleDispatch runs the PF lookup and flow selection after the
 // directory access latency, queueing behind other work at the controller.
 func (d *DirCtrl) scheduleDispatch(t *txn) {
-	id := t.id
-	d.eng.At(d.occupy(d.eng.Now()), func(now sim.Time) {
-		if cur, ok := d.busy[t.addr]; !ok || cur != t || t.id != id {
-			return // superseded (defensive; should not happen)
-		}
-		d.dispatch(now, t)
-	})
+	d.schedule(d.occupy(d.eng.Now()), evDispatch, t, nil)
 }
 
 // dispatch selects and starts the coherence flow for a request txn.
@@ -310,11 +389,7 @@ func (d *DirCtrl) missFlow(now sim.Time, t *txn, isLocal bool) {
 	victim, evicted, ok := d.pf.Alloc(t.addr, EntryEM, r, d.lineBusy)
 	if !ok {
 		d.stats.AllocRetries++
-		d.eng.After(d.cfg.RetryDelay, func(now sim.Time) {
-			if cur := d.busy[t.addr]; cur == t {
-				d.dispatch(now, t)
-			}
-		})
+		d.schedule(d.eng.Now()+d.cfg.RetryDelay, evRetry, t, nil)
 		return
 	}
 	if evicted {
@@ -333,11 +408,10 @@ func (d *DirCtrl) missFlow(now sim.Time, t *txn, isLocal bool) {
 		if wantM {
 			probeGrant = cache.Modified
 		}
-		d.port.Send(&Msg{
-			Op: coherence.PrbLocal, Addr: t.addr,
-			Src: d.cfg.Node, Dst: d.cfg.Node,
-			Mode: t.req.Op, ForwardTo: r, Grant: probeGrant, TxnID: t.id,
-		})
+		m := d.pool.Get()
+		m.Op, m.Addr, m.Src, m.Dst = coherence.PrbLocal, t.addr, d.cfg.Node, d.cfg.Node
+		m.Mode, m.ForwardTo, m.Grant, m.TxnID = t.req.Op, r, probeGrant, t.id
+		d.port.Send(m)
 		d.issueDRAM(now, t)
 		return
 	}
@@ -393,10 +467,10 @@ func (d *DirCtrl) hitFlow(now sim.Time, t *txn, e *Entry) {
 		}
 		// For GetS the final entry depends on the owner's state (M→O(o),
 		// E→S), decided when the ack arrives.
-		d.port.Send(&Msg{
-			Op: op, Addr: t.addr, Src: d.cfg.Node, Dst: e.Owner,
-			Mode: t.req.Op, ForwardTo: r, Grant: grant, TxnID: t.id,
-		})
+		m := d.pool.Get()
+		m.Op, m.Addr, m.Src, m.Dst = op, t.addr, d.cfg.Node, e.Owner
+		m.Mode, m.ForwardTo, m.Grant, m.TxnID = t.req.Op, r, grant, t.id
+		d.port.Send(m)
 
 	case EntryO:
 		if !wantM {
@@ -405,10 +479,10 @@ func (d *DirCtrl) hitFlow(now sim.Time, t *txn, e *Entry) {
 			t.pendingAcks = 1
 			d.stats.DirectedProbes++
 			t.finalValid, t.finalState, t.finalOwner = true, EntryO, e.Owner
-			d.port.Send(&Msg{
-				Op: coherence.PrbDown, Addr: t.addr, Src: d.cfg.Node, Dst: e.Owner,
-				Mode: t.req.Op, ForwardTo: r, Grant: cache.Shared, TxnID: t.id,
-			})
+			m := d.pool.Get()
+			m.Op, m.Addr, m.Src, m.Dst = coherence.PrbDown, t.addr, d.cfg.Node, e.Owner
+			m.Mode, m.ForwardTo, m.Grant, m.TxnID = t.req.Op, r, cache.Shared, t.id
+			d.port.Send(m)
 			return
 		}
 		if e.Owner == r {
@@ -455,10 +529,10 @@ func (d *DirCtrl) broadcastInv(t *txn, requester mem.NodeID, grant cache.State) 
 			continue
 		}
 		t.pendingAcks++
-		d.port.Send(&Msg{
-			Op: coherence.PrbInv, Addr: t.addr, Src: d.cfg.Node, Dst: dst,
-			Mode: coherence.GetM, ForwardTo: requester, Grant: grant, TxnID: t.id,
-		})
+		m := d.pool.Get()
+		m.Op, m.Addr, m.Src, m.Dst = coherence.PrbInv, t.addr, d.cfg.Node, dst
+		m.Mode, m.ForwardTo, m.Grant, m.TxnID = coherence.GetM, requester, grant, t.id
+		d.port.Send(m)
 	}
 }
 
@@ -469,21 +543,12 @@ func (d *DirCtrl) lineBusy(addr mem.PAddr) bool {
 	return ok
 }
 
-// issueDRAM starts a DRAM line read for t; the completion event records
-// the data version present at completion time (a write landing during the
-// access is visible, as in a real controller's write buffer check).
+// issueDRAM starts a DRAM line read for t; the completion event (an
+// evDRAM dirEvent) records the data version present at completion time (a
+// write landing during the access is visible, as in a real controller's
+// write buffer check).
 func (d *DirCtrl) issueDRAM(now sim.Time, t *txn) {
-	done := d.dram.Read(now)
-	id := t.id
-	d.eng.At(done, func(now sim.Time) {
-		if cur := d.busy[t.addr]; cur != t || t.id != id {
-			return // transaction restarted; the stale read is discarded
-		}
-		t.dramDone = true
-		t.dramDoneAt = now
-		d.maybeSendData(t)
-		d.tryComplete(now, t)
-	})
+	d.schedule(d.dram.Read(now), evDRAM, t, nil)
 }
 
 // maybeSendData sends the home's DataMsg once every prerequisite holds:
@@ -500,11 +565,11 @@ func (d *DirCtrl) maybeSendData(t *txn) {
 		return
 	}
 	t.dataSent = true
-	d.port.Send(&Msg{
-		Op: coherence.DataMsg, Addr: t.addr, Src: d.cfg.Node, Dst: t.req.Src,
-		Grant: t.grant, Untracked: t.untracked,
-		Version: d.dramVer[t.addr], TxnID: t.id,
-	})
+	m := d.pool.Get()
+	m.Op, m.Addr, m.Src, m.Dst = coherence.DataMsg, t.addr, d.cfg.Node, t.req.Src
+	m.Grant, m.Untracked = t.grant, t.untracked
+	m.Version, m.TxnID = d.dramVer[t.addr], t.id
+	d.port.Send(m)
 }
 
 // handleAck routes probe acknowledgements to their transaction.
@@ -690,23 +755,30 @@ func (d *DirCtrl) tryComplete(now sim.Time, t *txn) {
 	d.finish(now, t)
 }
 
-// finish releases the line and dispatches the next queued request.
+// finish releases the line, recycles the transaction and its request
+// message, and dispatches the next queued request.
 func (d *DirCtrl) finish(now sim.Time, t *txn) {
-	delete(d.busy, t.addr)
-	q := d.waiters[t.addr]
+	addr := t.addr
+	delete(d.busy, addr)
+	if t.req != nil {
+		t.req.Release()
+		t.req = nil
+	}
+	d.txns.Put(t)
+	q := d.waiters[addr]
 	if len(q) == 0 {
-		delete(d.waiters, t.addr)
+		delete(d.waiters, addr)
 		return
 	}
 	next := q[0]
 	if len(q) == 1 {
-		delete(d.waiters, t.addr)
+		delete(d.waiters, addr)
 	} else {
-		d.waiters[t.addr] = q[1:]
+		d.waiters[addr] = q[1:]
 	}
-	nt := d.newTxn(txnRequest, t.addr)
+	nt := d.newTxn(txnRequest, addr)
 	nt.req = next
-	d.busy[t.addr] = nt
+	d.busy[addr] = nt
 	d.scheduleDispatch(nt)
 }
 
@@ -825,10 +897,10 @@ func (d *DirCtrl) startEviction(now sim.Time, victim Entry) {
 		if dst != d.cfg.Node {
 			d.stats.EvictionMsgs++ // the probe; the ack is counted on receipt
 		}
-		d.port.Send(&Msg{
-			Op: coherence.PrbInv, Addr: victim.Addr, Src: d.cfg.Node, Dst: dst,
-			Mode: coherence.GetM, ForwardTo: coherence.NoNode, TxnID: t.id,
-		})
+		m := d.pool.Get()
+		m.Op, m.Addr, m.Src, m.Dst = coherence.PrbInv, victim.Addr, d.cfg.Node, dst
+		m.Mode, m.ForwardTo, m.TxnID = coherence.GetM, coherence.NoNode, t.id
+		d.port.Send(m)
 	}
 
 	if victim.State == EntryEM {

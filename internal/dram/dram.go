@@ -2,6 +2,12 @@
 // fixed access latency (Table I: 60 ns) plus a service-rate queue that
 // bounds bandwidth. Each node of the simulated machine owns one
 // Controller fronting its 128 MiB DRAM slice.
+//
+// The controller is callback-free by design: Read and Write return the
+// operation's completion time and the caller schedules its own
+// continuation — the directory controller uses a pooled sim.Handler
+// record per completion, keeping DRAM accesses off the allocator's hot
+// path.
 package dram
 
 import "allarm/internal/sim"

@@ -88,6 +88,7 @@ type Stats struct {
 type Mesh struct {
 	cfg   Config
 	free  []sim.Time // per directed link: next time the link is free
+	route []int      // scratch: the in-flight message's XY route
 	stats Stats
 }
 
@@ -98,8 +99,13 @@ func New(cfg Config) *Mesh {
 		panic(err)
 	}
 	// Four directed links per node (E, W, N, S); edge links exist in the
-	// slice but are never used by XY routing.
-	return &Mesh{cfg: cfg, free: make([]sim.Time, cfg.Width*cfg.Height*4)}
+	// slice but are never used by XY routing. The route scratch buffer is
+	// sized for the longest XY route so Send never grows it.
+	return &Mesh{
+		cfg:   cfg,
+		free:  make([]sim.Time, cfg.Width*cfg.Height*4),
+		route: make([]int, 0, cfg.Width+cfg.Height),
+	}
 }
 
 // Config returns the mesh configuration.
@@ -143,8 +149,8 @@ const (
 
 func (m *Mesh) linkID(node mem.NodeID, dir int) int { return int(node)*4 + dir }
 
-// route appends the directed links of the XY route src→dst to buf.
-func (m *Mesh) route(src, dst mem.NodeID, buf []int) []int {
+// xyRoute appends the directed links of the XY route src→dst to buf.
+func (m *Mesh) xyRoute(src, dst mem.NodeID, buf []int) []int {
 	x, y := m.coords(src)
 	dx, dy := m.coords(dst)
 	n := src
@@ -202,8 +208,8 @@ func (m *Mesh) Send(now sim.Time, src, dst mem.NodeID, class Class) sim.Time {
 	flits := m.FlitsFor(class)
 	ser := sim.Time(float64(bytes) / m.cfg.LinkBandwidth * float64(sim.Nanosecond))
 
-	var routeBuf [16]int
-	links := m.route(src, dst, routeBuf[:0])
+	links := m.xyRoute(src, dst, m.route[:0])
+	m.route = links[:0]
 	t := now
 	for _, l := range links {
 		start := t

@@ -6,12 +6,32 @@
 // precision. Events are ordered by time with a stable FIFO tie-break:
 // two events scheduled for the same instant fire in the order they were
 // scheduled, which makes whole-machine simulations bit-reproducible.
+//
+// # Event queue
+//
+// The queue is a hand-rolled monomorphic 4-ary heap over concrete item
+// values. Compared to container/heap it avoids the interface{} boxing
+// that used to cost one heap allocation per scheduled event, and the
+// shallower tree halves the number of swap levels per operation (pops
+// do three extra comparisons per level but one fewer level of cache
+// misses, a win for the multi-million-event queues whole-machine runs
+// build up). Vacated slots are zeroed on every pop and drain so the
+// backing array never keeps a fired event's closure — and everything it
+// captured — reachable.
+//
+// # Events and handlers
+//
+// Callbacks come in two forms. An Event is a closure, convenient for
+// one-off occurrences. A Handler is a typed object with a Handle method,
+// meant for recurring activities (message deliveries, controller
+// pipelines, CPU issue loops): a model component allocates its handler
+// once — or keeps a free list of them — and re-schedules it for every
+// occurrence, so steady-state simulation schedules no memory at all.
+// Both forms share one queue and one FIFO tie-break sequence, so mixing
+// them cannot perturb event order.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp in picoseconds since the start of the run.
 type Time int64
@@ -30,32 +50,32 @@ func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 // String renders the time in nanoseconds for logs and test failures.
 func (t Time) String() string { return fmt.Sprintf("%gns", t.Nanoseconds()) }
 
-// Event is a scheduled callback. Fire runs at the event's timestamp.
+// Event is a scheduled callback closure. It runs at the event's
+// timestamp. For recurring activities prefer Handler, which can be
+// allocated once and rescheduled for free.
 type Event func(now Time)
 
+// Handler is a typed event target: Handle runs at the scheduled time.
+// Handlers exist so hot-path components can preallocate (and pool) their
+// callback state instead of allocating a fresh closure per event.
+type Handler interface {
+	Handle(now Time)
+}
+
+// item is one queued event: exactly one of fire/h is set.
 type item struct {
 	at   Time
 	seq  uint64
 	fire Event
+	h    Handler
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports the queue ordering: earlier time first, FIFO on ties.
+func (a *item) before(b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -63,7 +83,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []item // 4-ary min-heap ordered by (at, seq)
 	stopped bool
 	fired   uint64
 }
@@ -77,23 +97,110 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at the absolute time at. Scheduling in the past
-// (before Now) panics: it always indicates a model bug, and silently
-// reordering time would corrupt results.
-func (e *Engine) At(at Time, fn Event) {
+// push inserts it, restoring the heap invariant by sifting up.
+func (e *Engine) push(it item) {
+	q := append(e.queue, it)
+	e.queue = q
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if q[p].before(&q[i]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the backing array releases its references.
+func (e *Engine) pop() item {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	it := q[n]
+	q[n] = item{}
+	q = q[:n]
+	e.queue = q
+	if n == 0 {
+		return top
+	}
+	// Sift the former tail down from the root along min-child links,
+	// moving children up into the hole rather than swapping.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if q[j].before(&q[m]) {
+				m = j
+			}
+		}
+		if it.before(&q[m]) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = it
+	return top
+}
+
+// checkTime panics when at is in the past: scheduling before Now always
+// indicates a model bug, and silently reordering time would corrupt
+// results.
+func (e *Engine) checkTime(at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", at, e.now))
 	}
+}
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics (see checkTime).
+func (e *Engine) At(at Time, fn Event) {
+	e.checkTime(at)
 	if fn == nil {
 		panic("sim: nil event")
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fire: fn})
+	e.push(item{at: at, seq: e.seq, fire: fn})
 }
 
 // After schedules fn to run delay picoseconds from now. Negative delays
 // panic (see At).
 func (e *Engine) After(delay Time, fn Event) { e.At(e.now+delay, fn) }
+
+// Schedule schedules h.Handle to run at the absolute time at. It is the
+// Handler counterpart of At and shares its queue and tie-break order.
+func (e *Engine) Schedule(at Time, h Handler) {
+	e.checkTime(at)
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	e.seq++
+	e.push(item{at: at, seq: e.seq, h: h})
+}
+
+// ScheduleAfter schedules h.Handle to run delay picoseconds from now.
+func (e *Engine) ScheduleAfter(delay Time, h Handler) { e.Schedule(e.now+delay, h) }
+
+// dispatch fires one popped event.
+func (e *Engine) dispatch(it *item) {
+	e.now = it.at
+	if it.fire != nil {
+		it.fire(it.at)
+	} else {
+		it.h.Handle(it.at)
+	}
+	e.fired++
+}
 
 // Stop makes Run return after the currently firing event completes.
 // Pending events remain queued.
@@ -109,11 +216,9 @@ func (e *Engine) Run(limit uint64) uint64 {
 		if limit > 0 && fired >= limit {
 			break
 		}
-		it := heap.Pop(&e.queue).(item)
-		e.now = it.at
-		it.fire(it.at)
+		it := e.pop()
+		e.dispatch(&it)
 		fired++
-		e.fired++
 	}
 	return fired
 }
@@ -127,11 +232,9 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		if e.queue[0].at > deadline {
 			break
 		}
-		it := heap.Pop(&e.queue).(item)
-		e.now = it.at
-		it.fire(it.at)
+		it := e.pop()
+		e.dispatch(&it)
 		fired++
-		e.fired++
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
@@ -139,19 +242,41 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	return fired
 }
 
-// Drain discards all pending events without firing them. Now is unchanged.
+// Drain discards all pending events without firing them. Now is
+// unchanged. Discarded slots are zeroed so their callbacks become
+// collectable.
 func (e *Engine) Drain() {
+	for i := range e.queue {
+		e.queue[i] = item{}
+	}
 	e.queue = e.queue[:0]
 }
 
-// Ticker invokes fn every period until cancel is called. It exists for
-// periodic model activities such as thread-migration experiments.
+// Ticker invokes a fixed callback every period until Cancel is called.
+// It exists for periodic model activities such as thread-migration
+// experiments. The Ticker is its own Handler: one allocation covers
+// every tick.
 type Ticker struct {
+	e         *Engine
+	period    Time
+	fn        Event
 	cancelled bool
 }
 
-// Cancel stops future ticks. Safe to call multiple times.
+// Cancel stops future ticks. Safe to call multiple times, including from
+// inside the tick callback itself.
 func (t *Ticker) Cancel() { t.cancelled = true }
+
+// Handle fires one tick and reschedules the next unless cancelled.
+func (t *Ticker) Handle(now Time) {
+	if t.cancelled {
+		return
+	}
+	t.fn(now)
+	if !t.cancelled {
+		t.e.Schedule(now+t.period, t)
+	}
+}
 
 // Tick schedules fn every period starting at now+period. fn receives the
 // tick time. period must be positive.
@@ -159,17 +284,34 @@ func (e *Engine) Tick(period Time, fn Event) *Ticker {
 	if period <= 0 {
 		panic("sim: Tick with non-positive period")
 	}
-	t := &Ticker{}
-	var loop Event
-	loop = func(now Time) {
-		if t.cancelled {
-			return
-		}
-		fn(now)
-		if !t.cancelled {
-			e.At(now+period, loop)
-		}
-	}
-	e.At(e.now+period, loop)
+	t := &Ticker{e: e, period: period, fn: fn}
+	e.Schedule(e.now+period, t)
 	return t
 }
+
+// FreeList is a LIFO free list of pointer-to-T records, the common
+// currency of this simulator's zero-allocation scheduling: components
+// Get a record, fill it, schedule it, and Put it back from its Handle
+// method. Get returns a zeroed fresh record when the list is empty, so
+// callers must (re)set every field they need either way.
+//
+// Like everything scheduled on an Engine, a FreeList is confined to its
+// machine's single goroutine and is not safe for concurrent use.
+type FreeList[T any] struct {
+	free []*T
+}
+
+// Get pops the most recently returned record, or allocates a zero one.
+func (f *FreeList[T]) Get() *T {
+	if n := len(f.free); n > 0 {
+		x := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put returns a record for reuse. The caller clears any reference
+// fields it no longer owns first (Put does not zero the record).
+func (f *FreeList[T]) Put(x *T) { f.free = append(f.free, x) }

@@ -189,3 +189,238 @@ func TestFiredCounter(t *testing.T) {
 		t.Fatalf("Fired = %d", e.Fired())
 	}
 }
+
+func TestHandlerScheduling(t *testing.T) {
+	var e Engine
+	var got []Time
+	h := handlerFunc(func(now Time) { got = append(got, now) })
+	e.Schedule(10, h)
+	e.Schedule(30, h)
+	e.At(20, func(now Time) { got = append(got, now) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("fire times = %v", got)
+	}
+}
+
+// handlerFunc adapts a func to Handler for tests.
+type handlerFunc func(now Time)
+
+func (f handlerFunc) Handle(now Time) { f(now) }
+
+func TestHandlerFIFOTieBreakWithEvents(t *testing.T) {
+	// Handlers and closures share one sequence counter, so same-time
+	// events fire in scheduling order regardless of form.
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if i%2 == 0 {
+			e.Schedule(100, handlerFunc(func(Time) { order = append(order, i) }))
+		} else {
+			e.At(100, func(Time) { order = append(order, i) })
+		}
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil handler")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestScheduleHandlerInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func(Time) {})
+	e.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for past handler")
+		}
+	}()
+	e.Schedule(50, handlerFunc(func(Time) {}))
+}
+
+func TestDrainThenReuse(t *testing.T) {
+	var e Engine
+	e.At(10, func(Time) { t.Fatal("drained event fired") })
+	e.At(20, func(Time) { t.Fatal("drained event fired") })
+	e.Drain()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d", e.Pending())
+	}
+	// The engine must be fully usable after Drain: same clock, fresh
+	// events fire normally.
+	var fired []Time
+	e.At(15, func(now Time) { fired = append(fired, now) })
+	e.At(5, func(now Time) { fired = append(fired, now) })
+	if n := e.Run(0); n != 2 {
+		t.Fatalf("fired %d events after reuse, want 2", n)
+	}
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 15 {
+		t.Fatalf("fire order after reuse: %v", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestTickerCancelInsideOwnTick(t *testing.T) {
+	var e Engine
+	ticks := 0
+	var tk *Ticker
+	tk = e.Tick(10, func(now Time) {
+		ticks++
+		tk.Cancel()
+		tk.Cancel() // double-cancel inside the tick is allowed
+	})
+	e.Run(0)
+	if ticks != 1 {
+		t.Fatalf("ticks = %d, want 1", ticks)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (no further tick scheduled)", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("cancelled ticker left %d pending events", e.Pending())
+	}
+}
+
+func TestRunUntilEventExactlyAtDeadline(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{10, 20, 21} {
+		at := at
+		e.At(at, func(Time) { fired = append(fired, at) })
+	}
+	if n := e.RunUntil(20); n != 2 {
+		t.Fatalf("fired %d events, want 2 (deadline is inclusive)", n)
+	}
+	if len(fired) != 2 || fired[1] != 20 {
+		t.Fatalf("fired %v, want the t=20 event included", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+}
+
+func TestRunLimitResume(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(10*(i+1)), func(Time) { order = append(order, i) })
+	}
+	if fired := e.Run(3); fired != 3 {
+		t.Fatalf("first Run fired %d, want 3", fired)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now after limited run = %v, want 30", e.Now())
+	}
+	if fired := e.Run(0); fired != 7 {
+		t.Fatalf("resumed Run fired %d, want 7", fired)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resume reordered events: %v", order)
+		}
+	}
+	if e.Fired() != 10 {
+		t.Fatalf("Fired = %d, want 10 across both calls", e.Fired())
+	}
+}
+
+// TestQueueReleasesReferencesAfterRun is the regression test for the old
+// eventHeap.Pop, which left each popped item's closure reachable in the
+// backing array: after a run drains, no slot of the queue's capacity may
+// still reference a callback.
+func TestQueueReleasesReferencesAfterRun(t *testing.T) {
+	var e Engine
+	for i := 0; i < 100; i++ {
+		payload := make([]byte, 1<<10)
+		e.At(Time(i), func(Time) { _ = payload })
+		if i%3 == 0 {
+			e.Schedule(Time(i), handlerFunc(func(Time) {}))
+		}
+	}
+	e.Run(0)
+	full := e.queue[:cap(e.queue)]
+	for i := range full {
+		if full[i].fire != nil || full[i].h != nil {
+			t.Fatalf("queue slot %d still references a callback after drain", i)
+		}
+	}
+}
+
+// TestRunLimitReleasesPoppedSlots checks the same property mid-run:
+// events popped by a limited Run must not linger beyond the live queue.
+func TestRunLimitReleasesPoppedSlots(t *testing.T) {
+	var e Engine
+	for i := 0; i < 50; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	e.Run(20)
+	live := len(e.queue)
+	full := e.queue[:cap(e.queue)]
+	for i := live; i < len(full); i++ {
+		if full[i].fire != nil || full[i].h != nil {
+			t.Fatalf("vacated slot %d still references a callback (live=%d)", i, live)
+		}
+	}
+}
+
+func TestDrainReleasesReferences(t *testing.T) {
+	var e Engine
+	for i := 0; i < 50; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	e.Drain()
+	full := e.queue[:cap(e.queue)]
+	for i := range full {
+		if full[i].fire != nil || full[i].h != nil {
+			t.Fatalf("queue slot %d still references a callback after Drain", i)
+		}
+	}
+}
+
+// churnHandler reschedules itself until its budget runs out, modelling a
+// steady-state component (CPU issue loop, controller pipeline).
+type churnHandler struct {
+	e         *Engine
+	remaining int
+}
+
+func (c *churnHandler) Handle(now Time) {
+	if c.remaining > 0 {
+		c.remaining--
+		c.e.Schedule(now+1, c)
+	}
+}
+
+// BenchmarkEngineChurn measures the scheduler's steady-state cost:
+// preallocated handlers churning through a populated queue. With the
+// monomorphic heap this runs allocation-free once the queue's backing
+// array has grown.
+func BenchmarkEngineChurn(b *testing.B) {
+	const width = 1024
+	var e Engine
+	handlers := make([]churnHandler, width)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range handlers {
+			handlers[j] = churnHandler{e: &e, remaining: 64}
+			e.Schedule(e.Now()+Time(j), &handlers[j])
+		}
+		e.Run(0)
+	}
+}

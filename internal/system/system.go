@@ -96,6 +96,10 @@ type Machine struct {
 	cpus  []*cpu
 	check *checker
 
+	// deliveries recycles the NoC in-flight records, so message
+	// delivery allocates nothing in steady state.
+	deliveries sim.FreeList[delivery]
+
 	roiStart sim.Time
 }
 
@@ -110,19 +114,36 @@ type node struct {
 // port implements coherence.Port on the mesh.
 type port struct{ m *Machine }
 
+// delivery is one NoC in-flight record: a message travelling the mesh,
+// scheduled as a sim.Handler for its arrival time. Records cycle through
+// the machine's free list.
+type delivery struct {
+	m   *Machine
+	msg *coherence.Msg
+}
+
+// Handle hands the message to the destination controller. The record is
+// recycled first, so handlers that send further messages can reuse it.
+func (d *delivery) Handle(now sim.Time) {
+	m, msg := d.m, d.msg
+	d.msg = nil
+	m.deliveries.Put(d)
+	dst := m.nodes[msg.Dst]
+	if msg.ToDir {
+		dst.dir.HandleMsg(now, msg)
+	} else {
+		dst.cc.HandleMsg(now, msg)
+	}
+}
+
 // Send computes the message's network latency (with link contention) and
 // schedules delivery at the destination controller.
 func (p *port) Send(msg *coherence.Msg) {
 	m := p.m
 	arrival := m.mesh.Send(m.eng.Now(), msg.Src, msg.Dst, msg.Op.Class())
-	dst := m.nodes[msg.Dst]
-	m.eng.At(arrival, func(now sim.Time) {
-		if msg.ToDir {
-			dst.dir.HandleMsg(now, msg)
-		} else {
-			dst.cc.HandleMsg(now, msg)
-		}
-	})
+	d := m.deliveries.Get()
+	d.m, d.msg = m, msg
+	m.eng.Schedule(arrival, d)
 }
 
 // New builds a machine. The physical memory map is shared by all address
@@ -190,7 +211,10 @@ func Preplace(space *mem.AddressSpace, wl workload.Preplacer, nodeOf func(thread
 }
 
 // cpu is the in-order core model: it replays its stream, blocking on each
-// access until the memory system completes it.
+// access until the memory system completes it. The issue loop is
+// allocation-free: stepFn is the step method bound once per run, and the
+// cpu itself is the sim.Handler for accesses pended behind a think delay
+// (at most one is outstanding).
 type cpu struct {
 	m        *Machine
 	idx      int
@@ -198,6 +222,21 @@ type cpu struct {
 	issued   uint64
 	done     bool
 	finished sim.Time
+
+	stepFn sim.Event
+	pendPA mem.PAddr
+	pendWr bool
+}
+
+func newCPU(m *Machine, idx int, spec ThreadSpec) *cpu {
+	c := &cpu{m: m, idx: idx, spec: spec}
+	c.stepFn = c.step
+	return c
+}
+
+// Handle issues the access pended behind a think delay.
+func (c *cpu) Handle(now sim.Time) {
+	c.m.nodes[c.spec.Node].cc.CoreAccess(now, c.pendPA, c.pendWr, c.stepFn)
 }
 
 func (c *cpu) step(now sim.Time) {
@@ -209,14 +248,11 @@ func (c *cpu) step(now sim.Time) {
 	}
 	c.issued++
 	pa := c.spec.Space.Translate(acc.VAddr, c.spec.Node)
-	cc := c.m.nodes[c.spec.Node].cc
-	issue := func(now sim.Time) {
-		cc.CoreAccess(now, pa, acc.Write, c.step)
-	}
 	if acc.Think > 0 {
-		c.m.eng.After(acc.Think, issue)
+		c.pendPA, c.pendWr = pa, acc.Write
+		c.m.eng.ScheduleAfter(acc.Think, c)
 	} else {
-		issue(now)
+		c.m.nodes[c.spec.Node].cc.CoreAccess(now, pa, acc.Write, c.stepFn)
 	}
 }
 
@@ -274,9 +310,9 @@ func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
 			}
 			w := t
 			w.Stream = t.Warmup
-			c := &cpu{m: m, idx: i, spec: w}
+			c := newCPU(m, i, w)
 			m.cpus = append(m.cpus, c)
-			m.eng.At(m.eng.Now()+sim.Time(i)*100*sim.Picosecond, c.step)
+			m.eng.At(m.eng.Now()+sim.Time(i)*100*sim.Picosecond, c.stepFn)
 		}
 		fired := m.eng.Run(m.cfg.MaxEvents)
 		if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
@@ -293,10 +329,10 @@ func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
 	roiStart := m.eng.Now()
 	m.cpus = m.cpus[:0]
 	for i, t := range threads {
-		c := &cpu{m: m, idx: i, spec: t}
+		c := newCPU(m, i, t)
 		m.cpus = append(m.cpus, c)
 		// Stagger starts by 100 ps per thread to break lockstep symmetry.
-		m.eng.At(roiStart+sim.Time(i)*100*sim.Picosecond, c.step)
+		m.eng.At(roiStart+sim.Time(i)*100*sim.Picosecond, c.stepFn)
 	}
 
 	fired := m.eng.Run(m.cfg.MaxEvents)

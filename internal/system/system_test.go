@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"allarm/internal/coherence"
 	"allarm/internal/core"
 	"allarm/internal/mem"
 	"allarm/internal/noc"
@@ -237,6 +238,56 @@ func TestFull16NodeBothPolicies(t *testing.T) {
 		}
 		if _, err := m.Run(specs); err != nil {
 			t.Fatalf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+// TestMsgPoolRecycleSteadyState checks the message free lists' recycle
+// discipline end to end: after a run quiesces, every pooled message the
+// controllers allocated has been released back (no leaks), and the
+// steady state runs on a small recycled working set rather than fresh
+// allocations. The CI race job runs this under -race.
+func TestMsgPoolRecycleSteadyState(t *testing.T) {
+	for _, policy := range []core.Policy{core.Baseline, core.ALLARM} {
+		cfg := testConfig(policy)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		wl := workload.MustSynthetic(stressParams(4, 3000))
+		space := m.NewAddressSpace(mem.FirstTouch)
+		Preplace(space, wl, func(th int) mem.NodeID { return mem.NodeID(th % cfg.Nodes) })
+		var specs []ThreadSpec
+		for th := 0; th < 4; th++ {
+			specs = append(specs, ThreadSpec{
+				Node: mem.NodeID(th), Stream: wl.Stream(th, 1), Space: space,
+				Name: fmt.Sprintf("recycle/%d", th),
+			})
+		}
+		if _, err := m.Run(specs); err != nil {
+			t.Fatalf("Run(%v): %v", policy, err)
+		}
+
+		var gets, puts, news uint64
+		for i := 0; i < cfg.Nodes; i++ {
+			for _, s := range []coherence.MsgPoolStats{
+				m.CacheCtrl(i).PoolStats(), m.Node(i).PoolStats(),
+			} {
+				gets += s.Gets
+				puts += s.Puts
+				news += s.News
+			}
+		}
+		if gets == 0 {
+			t.Fatalf("%v: controllers allocated no pooled messages", policy)
+		}
+		if puts != gets {
+			t.Errorf("%v: %d messages handed out but %d released (leak or double hold)",
+				policy, gets, puts)
+		}
+		if news*10 > gets {
+			t.Errorf("%v: %d of %d messages were fresh allocations; free lists are not recycling",
+				policy, news, gets)
 		}
 	}
 }

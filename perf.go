@@ -1,0 +1,22 @@
+package allarm
+
+// SimBenchCase is one workload cell of the fixed simulator-performance
+// matrix (each cell is measured under both policies).
+type SimBenchCase struct {
+	// Size labels the cell ("small", "large").
+	Size string
+	// Benchmark is the workload name (see Benchmarks).
+	Benchmark string
+	// Accesses is the per-thread access budget.
+	Accesses int
+}
+
+// SimBenchMatrix is the fixed matrix behind the BenchmarkSim* whole-
+// simulation benchmarks and `allarm-bench -benchjson`. It is a single
+// shared definition on purpose: the committed BENCH_*.json trajectory
+// is only comparable across PRs if the measured workloads never drift,
+// so changing a cell invalidates all earlier snapshots.
+var SimBenchMatrix = []SimBenchCase{
+	{Size: "small", Benchmark: "ocean-cont", Accesses: 20_000},
+	{Size: "large", Benchmark: "blackscholes", Accesses: 60_000},
+}

@@ -16,6 +16,10 @@ type Result struct {
 	RuntimeNs float64
 	// Accesses is the total demand accesses simulated.
 	Accesses uint64
+	// Events is the number of discrete events the simulation executed;
+	// with wall-clock time it gives the simulator's events/sec throughput
+	// (the benchmark suite's headline metric).
+	Events uint64
 
 	// PFEvictions is the machine-wide count of probe-filter entry
 	// evictions (Figure 3b).
@@ -75,6 +79,7 @@ func newResult(bench string, pol Policy, rr *system.RunResult) *Result {
 		PolicyUsed:      pol,
 		RuntimeNs:       rr.Time.Nanoseconds(),
 		Accesses:        rr.Accesses,
+		Events:          rr.Events,
 		PFEvictions:     t.PFEvictions,
 		PFAllocs:        t.PFAllocs,
 		NoCBytes:        t.NoCBytes,

@@ -321,3 +321,34 @@ func TestRunAllPairsMatchesRunPair(t *testing.T) {
 		t.Fatal("pair policies mislabelled")
 	}
 }
+
+// TestMsgPoolRecycleParallelSweep runs concurrent simulations to enforce
+// that the message/event free lists are confined to their machine's
+// goroutine: each worker owns one machine and one set of pools, so the
+// race detector must stay silent while results stay deterministic. The
+// CI race job runs this under -race.
+func TestMsgPoolRecycleParallelSweep(t *testing.T) {
+	cfg := tinyConfig()
+	s := allarm.NewSweep(
+		allarm.Job{Benchmark: "ocean-cont", Config: cfg},
+		allarm.Job{Benchmark: "blackscholes", Config: cfg},
+	).CrossPolicies(allarm.Baseline, allarm.ALLARM)
+
+	serial, err := (&allarm.Runner{Parallelism: 1}).Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := (&allarm.Runner{Parallelism: 4}).Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Result.RuntimeNs != parallel[i].Result.RuntimeNs {
+			t.Errorf("job %d: runtime %v (serial) != %v (parallel)",
+				i, serial[i].Result.RuntimeNs, parallel[i].Result.RuntimeNs)
+		}
+	}
+}
