@@ -73,7 +73,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestRunProducesMetrics(t *testing.T) {
-	res, err := allarm.Run(fastConfig(), "barnes")
+	res, err := allarm.RunBenchmark(fastConfig(), "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestRunProducesMetrics(t *testing.T) {
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if _, err := allarm.Run(fastConfig(), "nope"); err == nil {
+	if _, err := allarm.RunBenchmark(fastConfig(), "nope"); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
@@ -124,11 +124,11 @@ func TestRunPairSameSeedComparable(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	cfg := fastConfig()
-	a, err := allarm.Run(cfg, "cholesky")
+	a, err := allarm.RunBenchmark(cfg, "cholesky")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := allarm.Run(cfg, "cholesky")
+	b, err := allarm.RunBenchmark(cfg, "cholesky")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatal("identical configs produced different results")
 	}
 	cfg.Seed = 999
-	c, err := allarm.Run(cfg, "cholesky")
+	c, err := allarm.RunBenchmark(cfg, "cholesky")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestALLARMRangesDisableEverything(t *testing.T) {
 		cfg.ALLARMRanges = append(cfg.ALLARMRanges,
 			allarm.AddrRange{Start: base + nodeBytes/2, End: base + nodeBytes})
 	}
-	res, err := allarm.Run(cfg, "barnes")
+	res, err := allarm.RunBenchmark(cfg, "barnes")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func benchSim(b *testing.B, benchmark string, accesses int, pol allarm.Policy) {
 	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := allarm.Run(cfg, benchmark)
+		res, err := allarm.RunBenchmark(cfg, benchmark)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -36,7 +36,7 @@ func BenchmarkFig2LocalRemoteRatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var locals []float64
 		for _, name := range allarm.Benchmarks() {
-			res, err := allarm.Run(cfg, name)
+			res, err := allarm.RunBenchmark(cfg, name)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -125,7 +125,7 @@ func BenchmarkFig3gSnoopHiding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var fracs []float64
 		for _, name := range allarm.Benchmarks() {
-			res, err := allarm.Run(cfg, name)
+			res, err := allarm.RunBenchmark(cfg, name)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -142,7 +142,7 @@ func BenchmarkFig3hPFSizeSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := cfg
 		c.Policy = allarm.Baseline
-		ref, err := allarm.Run(c, "blackscholes")
+		ref, err := allarm.RunBenchmark(c, "blackscholes")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func BenchmarkFig3hPFSizeSweep(b *testing.B) {
 			c := cfg
 			c.Policy = allarm.ALLARM
 			c.PFBytes = cfg.PFBytes / div
-			res, err := allarm.Run(c, "blackscholes")
+			res, err := allarm.RunBenchmark(c, "blackscholes")
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -230,7 +230,7 @@ func BenchmarkAblationSerialLocalProbe(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Policy = allarm.ALLARM
 	for i := 0; i < b.N; i++ {
-		res, err := allarm.Run(cfg, "ocean-cont")
+		res, err := allarm.RunBenchmark(cfg, "ocean-cont")
 		if err != nil {
 			b.Fatal(err)
 		}

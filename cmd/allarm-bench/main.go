@@ -6,10 +6,15 @@
 //	allarm-bench -exp all                # everything (minutes)
 //	allarm-bench -exp fig2 -accesses 120000 -seed 7
 //	allarm-bench -exp all -parallel 4    # bound the worker pool
+//	allarm-bench -exp fig3a -policy allarm-hyst   # another registered policy
 //	allarm-bench -exp fig3a -json        # raw per-run records, not tables
 //	allarm-bench -exp all -csv > runs.csv
 //	allarm-bench -benchjson              # simulator perf snapshot (JSON)
 //	allarm-bench -exp fig3a -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -policy swaps the optimised policy the figures evaluate against the
+// baseline (default "allarm", reproducing the paper exactly); any name
+// registered with allarm.RegisterPolicy works.
 //
 // By default output is the series each figure plots (normalised to the
 // baseline exactly as the paper normalises). With -json or -csv the
@@ -67,6 +72,7 @@ func main() {
 func run() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment id or 'all' (one of: "+strings.Join(allarm.ExperimentIDs, ", ")+")")
+		policy     = flag.String("policy", "allarm", "optimised policy the figures evaluate against the baseline (any registered name)")
 		accesses   = flag.Int("accesses", 0, "accesses per thread (0 = default)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		fullScale  = flag.Bool("fullscale", false, "use unscaled Table I SRAM sizes")
@@ -87,6 +93,12 @@ func run() int {
 	cfg.Seed = *seed
 	if *accesses > 0 {
 		cfg.AccessesPerThread = *accesses
+	}
+
+	opt, err := allarm.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+		return 2
 	}
 
 	if *jsonOut && *csvOut {
@@ -151,13 +163,13 @@ func run() int {
 	}
 
 	if *jsonOut || *csvOut {
-		return emitRaw(ctx, cfg, ids, runner, *jsonOut)
+		return emitRaw(ctx, cfg, ids, opt, runner, *jsonOut)
 	}
 
 	for _, id := range ids {
 		start := time.Now()
 		fmt.Printf("== %s ==\n", id)
-		if err := allarm.RunExperimentWith(ctx, os.Stdout, cfg, id, runner); err != nil {
+		if err := allarm.RunExperimentVs(ctx, os.Stdout, cfg, id, opt, runner); err != nil {
 			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
 			return 1
 		}
@@ -169,10 +181,10 @@ func run() int {
 // emitRaw merges the experiments' sweeps (dropping duplicate
 // simulations), runs the union once, emits the per-run records, and
 // returns the process exit status.
-func emitRaw(ctx context.Context, cfg allarm.Config, ids []string, runner *allarm.Runner, asJSON bool) int {
+func emitRaw(ctx context.Context, cfg allarm.Config, ids []string, opt allarm.Policy, runner *allarm.Runner, asJSON bool) int {
 	merged := allarm.NewSweep()
 	for _, id := range ids {
-		s, err := allarm.ExperimentSweep(cfg, id)
+		s, err := allarm.ExperimentSweepVs(cfg, id, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
 			return 1
@@ -245,14 +257,14 @@ func emitBenchJSON(ctx context.Context, w io.Writer, seed uint64) error {
 			cfg.Seed = seed
 			cfg.Policy = pol
 			cfg.AccessesPerThread = cell.Accesses
-			if _, err := allarm.Run(cfg, cell.Benchmark); err != nil {
+			if _, err := allarm.RunBenchmark(cfg, cell.Benchmark); err != nil {
 				return err
 			}
 			var before, after runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			res, err := allarm.Run(cfg, cell.Benchmark)
+			res, err := allarm.RunBenchmark(cfg, cell.Benchmark)
 			wall := time.Since(start)
 			runtime.ReadMemStats(&after)
 			if err != nil {

@@ -1,15 +1,20 @@
-// Command allarm-sim runs a single simulation of one benchmark under one
+// Command allarm-sim runs a single simulation of one workload under one
 // policy and prints its metrics.
 //
 // Usage:
 //
 //	allarm-sim -bench ocean-cont -policy allarm -accesses 60000
-//	allarm-sim -bench barnes -pair            # baseline vs ALLARM
-//	allarm-sim -bench barnes -pair -json      # raw records instead
-//	allarm-sim -list                          # available benchmarks
+//	allarm-sim -bench barnes -pair              # baseline vs -policy
+//	allarm-sim -bench barnes -pair -json        # raw records instead
+//	allarm-sim -workload trace:barnes.trace     # replay a captured trace
+//	allarm-sim -bench dedup -policy allarm-hyst # any registered policy
+//	allarm-sim -list                            # benchmarks and policies
 //
-// Every invocation is a (possibly one-job) sweep: -pair fans the two
-// policies out over -parallel workers, and -json/-csv swap the human
+// The workload is either a benchmark preset (-bench, or -workload
+// bench:NAME) or a captured trace (-workload trace:FILE; see
+// allarm-trace -gen). -policy accepts any registered directory policy.
+// Every invocation is a (possibly one-job) sweep: -pair fans baseline
+// and -policy out over -parallel workers, and -json/-csv swap the human
 // summary for the raw per-run records.
 package main
 
@@ -26,8 +31,9 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "ocean-cont", "benchmark name")
-		policy    = flag.String("policy", "baseline", "baseline or allarm")
-		pair      = flag.Bool("pair", false, "run both policies and compare")
+		wlFlag    = flag.String("workload", "", "workload spec: bench:NAME or trace:FILE (overrides -bench)")
+		policy    = flag.String("policy", "baseline", "directory policy name (see -list)")
+		pair      = flag.Bool("pair", false, "run baseline and -policy and compare")
 		accesses  = flag.Int("accesses", 0, "accesses per thread (0 = default)")
 		threads   = flag.Int("threads", 0, "thread count (0 = default 16)")
 		pfKiB     = flag.Int("pf", 0, "probe filter coverage in KiB (0 = default 512)")
@@ -43,7 +49,10 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(allarm.Benchmarks(), "\n"))
+		fmt.Println("benchmarks:")
+		fmt.Println("  " + strings.Join(allarm.Benchmarks(), "\n  "))
+		fmt.Println("policies:")
+		fmt.Println("  " + strings.Join(allarm.RegisteredPolicies(), "\n  "))
 		return
 	}
 	if *jsonOut && *csvOut {
@@ -67,8 +76,32 @@ func main() {
 		cfg.PFBytes = *pfKiB << 10
 	}
 
+	pol, err := allarm.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+		os.Exit(2)
+	}
+
 	job := allarm.Job{Benchmark: *bench, Config: cfg}
+	switch {
+	case strings.HasPrefix(*wlFlag, "trace:"):
+		wl, err := allarm.LoadTrace(strings.TrimPrefix(*wlFlag, "trace:"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+			os.Exit(1)
+		}
+		job.Workload = wl
+	case strings.HasPrefix(*wlFlag, "bench:"):
+		job.Benchmark = strings.TrimPrefix(*wlFlag, "bench:")
+	case *wlFlag != "":
+		fmt.Fprintf(os.Stderr, "allarm-sim: -workload wants bench:NAME or trace:FILE, got %q\n", *wlFlag)
+		os.Exit(2)
+	}
 	if *multi > 0 {
+		if job.Workload != nil {
+			fmt.Fprintln(os.Stderr, "allarm-sim: -multi applies to benchmark presets only")
+			os.Exit(2)
+		}
 		mp := allarm.DefaultMultiProcess()
 		mp.Copies = *multi
 		job.MultiProcess = &mp
@@ -76,17 +109,14 @@ func main() {
 
 	sweep := allarm.NewSweep(job)
 	if *pair {
-		sweep.CrossPolicies(allarm.Baseline, allarm.ALLARM)
-	} else {
-		switch *policy {
-		case "baseline":
-			sweep.CrossPolicies(allarm.Baseline)
-		case "allarm":
-			sweep.CrossPolicies(allarm.ALLARM)
-		default:
-			fmt.Fprintf(os.Stderr, "allarm-sim: unknown policy %q\n", *policy)
-			os.Exit(2)
+		opt := pol
+		if opt == allarm.Baseline {
+			// -pair with the default -policy keeps the paper's comparison.
+			opt = allarm.ALLARM
 		}
+		sweep.CrossPolicies(allarm.Baseline, opt)
+	} else {
+		sweep.CrossPolicies(pol)
 	}
 
 	runner := &allarm.Runner{Parallelism: *parallel}
@@ -139,9 +169,12 @@ func print1(r *allarm.Result) {
 	fmt.Printf("  L2 misses        %12d\n", r.L2Misses)
 	fmt.Printf("  NoC traffic      %12d bytes (%d msgs)\n", r.NoCBytes, r.NoCMessages)
 	fmt.Printf("  energy NoC/PF    %12.1f / %.1f nJ\n", r.NoCEnergyPJ/1e3, r.PFEnergyPJ/1e3)
-	if r.PolicyUsed == allarm.ALLARM {
+	if r.UntrackedGrants > 0 || r.LocalProbes > 0 {
 		fmt.Printf("  untracked fills  %12d\n", r.UntrackedGrants)
 		fmt.Printf("  local probes     %12d (%.2f hidden)\n",
 			r.LocalProbes, r.SnoopHiddenFraction())
+	}
+	if r.UncachedGrants > 0 {
+		fmt.Printf("  uncached grants  %12d\n", r.UncachedGrants)
 	}
 }

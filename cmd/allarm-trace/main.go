@@ -1,18 +1,25 @@
-// Command allarm-trace captures benchmark access traces to disk and
-// inspects or replays them.
+// Command allarm-trace closes the capture → inspect → replay loop for
+// memory-access traces: it captures benchmark traces to disk, prints a
+// trace's summary, and replays a captured trace through the simulator
+// under the baseline and an optimised policy, printing the paper's
+// normalised comparison.
 //
 // Usage:
 //
 //	allarm-trace -gen -bench barnes -o barnes.trace -accesses 10000
 //	allarm-trace -info barnes.trace
+//	allarm-trace -replay barnes.trace
+//	allarm-trace -replay barnes.trace -policy allarm-hyst
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	allarm "allarm"
 	"allarm/internal/trace"
 	"allarm/internal/workload"
 )
@@ -21,11 +28,14 @@ func main() {
 	var (
 		gen      = flag.Bool("gen", false, "capture a benchmark trace")
 		info     = flag.String("info", "", "print a trace file's summary")
+		replay   = flag.String("replay", "", "replay a trace file under baseline and -policy, printing the comparison")
 		bench    = flag.String("bench", "barnes", "benchmark to capture")
 		out      = flag.String("o", "out.trace", "output path for -gen")
 		threads  = flag.Int("threads", 16, "thread count")
 		accesses = flag.Int("accesses", 10000, "accesses per thread")
-		seed     = flag.Uint64("seed", 1, "stream seed")
+		seed     = flag.Uint64("seed", 1, "stream seed (capture) / simulation seed (replay)")
+		policy   = flag.String("policy", "allarm", "optimised policy for -replay (see allarm-sim -policy)")
+		check    = flag.Bool("check", false, "enable the coherence invariant checker for -replay")
 	)
 	flag.Parse()
 
@@ -40,14 +50,12 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		w, err := trace.NewWriter(f, *threads)
+		w, err := trace.Capture(f, wl, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.Capture(w, wl, *seed); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%s: %d records (%d threads)\n", *out, w.Records(), *threads)
+		fmt.Printf("%s: %d records (%d threads, placements and warmup included)\n",
+			*out, w.Records(), *threads)
 
 	case *info != "":
 		f, err := os.Open(*info)
@@ -59,7 +67,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var records, writes uint64
+		var records, warmup, writes uint64
 		for {
 			rec, err := r.Read()
 			if err == io.EOF {
@@ -69,12 +77,48 @@ func main() {
 				fatal(err)
 			}
 			records++
+			if rec.Warmup {
+				warmup++
+			}
 			if rec.Access.Write {
 				writes++
 			}
 		}
-		fmt.Printf("%s: %d threads, %d records, %.1f%% writes\n",
-			*info, r.Threads(), records, 100*float64(writes)/float64(records))
+		fmt.Printf("%s: v%d, %d threads, %d records (%d warmup), %d placements, %.1f%% writes\n",
+			*info, r.Version(), r.Threads(), records, warmup, len(r.Placements()),
+			100*float64(writes)/float64(records))
+
+	case *replay != "":
+		opt, err := allarm.ParsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		wl, err := allarm.LoadTrace(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := allarm.ExperimentConfig()
+		cfg.Seed = *seed
+		cfg.CheckInvariants = *check
+		sweep := allarm.NewSweep(allarm.Job{Workload: wl, Config: cfg}).
+			CrossPolicies(allarm.Baseline, opt)
+		results, err := allarm.RunSweep(context.Background(), sweep)
+		if err == nil {
+			err = allarm.FirstError(results)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		base, o := results[0].Result, results[1].Result
+		c := allarm.Compare(base, o)
+		fmt.Printf("%s: %d threads, %d accesses, %s vs %s\n",
+			wl.Name(), wl.Threads(), base.Accesses, allarm.Baseline, opt)
+		fmt.Printf("speedup            %8.3fx\n", c.Speedup)
+		fmt.Printf("evictions ratio    %8.3f\n", c.EvictionRatio)
+		fmt.Printf("traffic ratio      %8.3f\n", c.TrafficRatio)
+		fmt.Printf("L2 miss ratio      %8.3f\n", c.L2MissRatio)
+		fmt.Printf("NoC energy ratio   %8.3f\n", c.NoCEnergyRatio)
+		fmt.Printf("PF energy ratio    %8.3f\n", c.PFEnergyRatio)
 
 	default:
 		flag.Usage()

@@ -10,26 +10,6 @@ import (
 	"allarm/internal/system"
 )
 
-// Policy selects the probe-filter allocation policy.
-type Policy int
-
-const (
-	// Baseline is the conventional sparse directory: allocate on any
-	// miss (with clean-exclusive eviction notification, the paper's
-	// "already optimized" baseline).
-	Baseline Policy = iota
-	// ALLARM allocates only on remote misses (the paper's contribution).
-	ALLARM
-)
-
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	if p == ALLARM {
-		return "allarm"
-	}
-	return "baseline"
-}
-
 // MemPolicy selects the OS page-placement policy.
 type MemPolicy int
 
@@ -53,7 +33,9 @@ type Config struct {
 	// yields a bit-identical simulation.
 	Seed uint64
 
-	// Policy selects Baseline or ALLARM directories (machine-wide).
+	// Policy selects the directory allocation policy (machine-wide) by
+	// registry name: Baseline, ALLARM, ALLARMHyst or any name added with
+	// RegisterPolicy. The zero value means Baseline.
 	Policy Policy
 	// ALLARMRanges optionally restricts ALLARM to physical address
 	// ranges (the paper's boot-time range registers). Empty = all.
@@ -129,14 +111,30 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports the first inconsistency in the configuration.
+// Validate reports the first inconsistency in the configuration,
+// including the benchmark scale fields (Threads, AccessesPerThread) the
+// preset runners consume. Workload-driven runs (Run with an explicit
+// Workload) take their scale from the workload and only need
+// validateMachine.
 func (c Config) Validate() error {
 	if c.Threads <= 0 {
 		return fmt.Errorf("allarm: threads must be positive")
 	}
+	if c.Threads > c.Nodes {
+		// One in-order core per node, one outstanding access per core: a
+		// second thread on a node would trip the cache controller's MSHR
+		// guard mid-run. Reject it up front, like Run does for Workloads.
+		return fmt.Errorf("allarm: %d threads exceed the machine's %d nodes", c.Threads, c.Nodes)
+	}
 	if c.AccessesPerThread <= 0 {
 		return fmt.Errorf("allarm: accesses per thread must be positive")
 	}
+	return c.validateMachine()
+}
+
+// validateMachine checks the machine description (everything except the
+// preset-workload scale fields).
+func (c Config) validateMachine() error {
 	if c.MemMiBPerNode <= 0 {
 		return fmt.Errorf("allarm: per-node memory must be positive")
 	}
@@ -172,7 +170,8 @@ func ExperimentConfig() Config {
 
 func ns(v float64) sim.Time { return sim.Time(v * float64(sim.Nanosecond)) }
 
-// systemConfig lowers the public Config to the internal machine config.
+// systemConfig lowers the public Config to the internal machine config,
+// resolving the allocation policy against the registry.
 func (c Config) systemConfig() (system.Config, error) {
 	var ranges *core.RangeSet
 	if len(c.ALLARMRanges) > 0 {
@@ -186,17 +185,16 @@ func (c Config) systemConfig() (system.Config, error) {
 		}
 		ranges = set
 	}
-	pol := core.Baseline
-	if c.Policy == ALLARM {
-		pol = core.ALLARM
+	alloc, err := c.allocFactory(ranges)
+	if err != nil {
+		return system.Config{}, err
 	}
 	return system.Config{
 		Nodes: c.Nodes, MeshW: c.MeshW, MeshH: c.MeshH,
 		L1Bytes: c.L1Bytes, L1Ways: c.L1Ways,
 		L2Bytes: c.L2Bytes, L2Ways: c.L2Ways,
 		PFCoverage: c.PFBytes, PFWays: c.PFWays,
-		Policy:       pol,
-		Ranges:       ranges,
+		Alloc:        alloc,
 		CacheLatency: ns(c.CacheNs), DirLatency: ns(c.DirNs),
 		DRAMLatency: ns(c.DRAMNs), DRAMInterval: ns(c.DRAMIntervalNs),
 		NoC: noc.Config{

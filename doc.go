@@ -11,15 +11,40 @@
 //
 // The package front-ends a complete machine model (16-node 4×4 mesh,
 // private L1/L2 per node, Hammer-style coherence with per-node probe
-// filters, one memory controller per node) plus synthetic SPLASH2/Parsec
-// workload models. Single runs go through Run, RunPair and
-// RunMultiProcess:
+// filters, one memory controller per node) behind two first-class
+// abstractions: the Workload being simulated and the directory
+// allocation Policy the machine runs.
 //
-//	cfg := allarm.DefaultConfig()          // Table I parameters
+// # Workloads
+//
+// Run simulates one Workload on one machine. Workloads come in three
+// kinds — the synthetic SPLASH2/Parsec presets, bit-exact trace replays,
+// and user-programmatic generators — and any Workload implementation is
+// accepted:
+//
+//	cfg := allarm.DefaultConfig()               // Table I parameters
+//	wl, _ := allarm.BenchmarkWorkload("ocean-cont", cfg.Threads, cfg.AccessesPerThread)
+//	res, err := allarm.Run(cfg, wl)
+//
+//	wl, _ = allarm.LoadTrace("barnes.trace")    // captured with CaptureTrace / allarm-trace
+//	wl, _ = allarm.NewWorkload(allarm.WorkloadSpec{...}) // programmatic
+//
+// RunBenchmark(cfg, name) is the preset shortcut, and RunPair runs the
+// paper's baseline/ALLARM comparison:
+//
 //	base, opt, err := allarm.RunPair(cfg, "ocean-cont")
-//	if err != nil { ... }
 //	cmp := allarm.Compare(base, opt)
 //	fmt.Printf("speedup %.2fx, evictions ×%.2f\n", cmp.Speedup, cmp.EvictionRatio)
+//
+// # Policies
+//
+// Config.Policy selects the directory allocation policy by registry
+// name: Baseline ("baseline"), ALLARM ("allarm"), the bundled
+// deferred-allocation variant ALLARMHyst ("allarm-hyst"), or any scheme
+// added with RegisterPolicy. A registered DirectoryPolicy decides each
+// probe-filter miss (Track, GrantUntracked, GrantUncached) per
+// directory, and registered names work uniformly across single runs,
+// sweeps, the experiment harness and the CLI tools' -policy flags.
 //
 // # Sweeps
 //
@@ -33,17 +58,23 @@
 //
 //	sweep := allarm.NewSweep(allarm.Job{Config: cfg}).
 //		CrossBenchmarks(allarm.Benchmarks()...).
-//		CrossPolicies(allarm.Baseline, allarm.ALLARM)
+//		CrossPolicies(allarm.Baseline, allarm.ALLARM, allarm.ALLARMHyst)
 //	results, err := allarm.RunSweep(ctx, sweep)     // all cores
 //	if err == nil { err = allarm.FirstError(results) }
+//
+// Jobs carry either a preset name (Job.Benchmark) or any first-class
+// workload (Job.Workload; see CrossWorkloads), so one spec can mix
+// presets, trace replays and custom generators.
 //
 // Results are structured data — each SweepResult pairs the Job with its
 // *Result or error — rendered by pluggable emitters (TableEmitter,
 // CSVEmitter, JSONEmitter) or consumed directly.
 //
 // Every table and figure of the paper is such a spec: ExperimentSweep
-// returns the grid behind an experiment id, and RunExperiment (the
+// returns the grid behind an experiment id, RunExperiment (the
 // compatibility shim over it) runs the grid and prints the series the
-// paper plots. See README.md for a quickstart and cmd/allarm-bench for
+// paper plots, and the Vs variants (ExperimentSweepVs, RunExperimentVs)
+// regenerate any figure with a different optimised policy standing in
+// for ALLARM. See README.md for a quickstart and cmd/allarm-bench for
 // the figure-regeneration CLI.
 package allarm

@@ -24,7 +24,7 @@ var sweepColumns = []string{
 	"benchmark", "policy", "threads", "copies", "pf_kib", "seed", "error",
 	"runtime_ns", "accesses", "pf_allocs", "pf_evictions", "eviction_msgs",
 	"l2_misses", "noc_bytes", "noc_msgs", "local_reqs", "remote_reqs",
-	"local_probes", "probes_hidden", "untracked_grants",
+	"local_probes", "probes_hidden", "untracked_grants", "uncached_grants",
 	"noc_energy_pj", "pf_energy_pj",
 }
 
@@ -60,6 +60,7 @@ type sweepMetrics struct {
 	LocalProbes     uint64  `json:"local_probes"`
 	ProbesHidden    uint64  `json:"probes_hidden"`
 	UntrackedGrants uint64  `json:"untracked_grants"`
+	UncachedGrants  uint64  `json:"uncached_grants"`
 	NoCEnergyPJ     float64 `json:"noc_energy_pj"`
 	PFEnergyPJ      float64 `json:"pf_energy_pj"`
 }
@@ -67,13 +68,17 @@ type sweepMetrics struct {
 // record flattens one SweepResult.
 func record(r SweepResult) sweepRecord {
 	rec := sweepRecord{
-		Benchmark: r.Job.Benchmark,
+		Benchmark: r.Job.WorkloadName(),
 		Policy:    r.Job.Config.Policy.String(),
 		Threads:   r.Job.Config.Threads,
 		PFKiB:     r.Job.Config.PFBytes >> 10,
 		Seed:      r.Job.Config.Seed,
 	}
-	if r.Job.MultiProcess != nil {
+	if r.Job.Workload != nil {
+		// A first-class Workload wins over MultiProcess in Job.Run, so
+		// the record must not describe a multi-process run.
+		rec.Threads = r.Job.Workload.Threads()
+	} else if r.Job.MultiProcess != nil {
 		rec.Copies = r.Job.MultiProcess.Copies
 		rec.Threads = 1
 	}
@@ -96,6 +101,7 @@ func record(r SweepResult) sweepRecord {
 			LocalProbes:     res.LocalProbes,
 			ProbesHidden:    res.ProbesHidden,
 			UntrackedGrants: res.UntrackedGrants,
+			UncachedGrants:  res.UncachedGrants,
 			NoCEnergyPJ:     res.NoCEnergyPJ,
 			PFEnergyPJ:      res.PFEnergyPJ,
 		}
@@ -120,7 +126,8 @@ func (rec sweepRecord) cells() []string {
 		u(m.PFEvictions), u(m.EvictionMsgs), u(m.L2Misses),
 		u(m.NoCBytes), u(m.NoCMessages), u(m.LocalRequests),
 		u(m.RemoteRequests), u(m.LocalProbes), u(m.ProbesHidden),
-		u(m.UntrackedGrants), f(m.NoCEnergyPJ), f(m.PFEnergyPJ),
+		u(m.UntrackedGrants), u(m.UncachedGrants),
+		f(m.NoCEnergyPJ), f(m.PFEnergyPJ),
 	}
 }
 

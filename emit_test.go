@@ -52,9 +52,9 @@ func TestCSVEmitterGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
-		"benchmark,policy,threads,copies,pf_kib,seed,error,runtime_ns,accesses,pf_allocs,pf_evictions,eviction_msgs,l2_misses,noc_bytes,noc_msgs,local_reqs,remote_reqs,local_probes,probes_hidden,untracked_grants,noc_energy_pj,pf_energy_pj",
-		"barnes,allarm,16,0,128,1,,1234.5,32000,100,0,40,500,65536,900,700,300,50,45,600,1000.4,200.8",
-		"no-such,baseline,16,0,128,1,\"allarm: unknown benchmark \"\"no-such\"\"\",0.0,0,0,0,0,0,0,0,0,0,0,0,0,0.0,0.0",
+		"benchmark,policy,threads,copies,pf_kib,seed,error,runtime_ns,accesses,pf_allocs,pf_evictions,eviction_msgs,l2_misses,noc_bytes,noc_msgs,local_reqs,remote_reqs,local_probes,probes_hidden,untracked_grants,uncached_grants,noc_energy_pj,pf_energy_pj",
+		"barnes,allarm,16,0,128,1,,1234.5,32000,100,0,40,500,65536,900,700,300,50,45,600,0,1000.4,200.8",
+		"no-such,baseline,16,0,128,1,\"allarm: unknown benchmark \"\"no-such\"\"\",0.0,0,0,0,0,0,0,0,0,0,0,0,0,0,0.0,0.0",
 		"",
 	}, "\n")
 	if sb.String() != want {

@@ -29,9 +29,16 @@ type PairResults struct {
 // PairsSweep is the spec behind RunAllPairs and Figure 3: every
 // benchmark under both policies, baseline first.
 func PairsSweep(cfg Config) *Sweep {
+	return PairsSweepVs(cfg, ALLARM)
+}
+
+// PairsSweepVs is PairsSweep with the optimised policy under evaluation
+// made explicit: every benchmark under the baseline and opt, baseline
+// first. Any registered policy works (see RegisterPolicy).
+func PairsSweepVs(cfg Config, opt Policy) *Sweep {
 	return NewSweep(Job{Config: cfg}).
 		CrossBenchmarks(Benchmarks()...).
-		CrossPolicies(Baseline, ALLARM)
+		CrossPolicies(Baseline, opt)
 }
 
 // RunAllPairs runs every benchmark under both policies at the given
@@ -68,6 +75,14 @@ func pairsOf(results []SweepResult) ([]PairResults, error) {
 // simulations and return an empty sweep. Unknown ids return an error
 // listing the valid ones.
 func ExperimentSweep(cfg Config, id string) (*Sweep, error) {
+	return ExperimentSweepVs(cfg, id, ALLARM)
+}
+
+// ExperimentSweepVs is ExperimentSweep with the optimised policy under
+// evaluation made explicit, so a figure's grid can be regenerated for
+// any registered policy (allarm-bench -policy). opt == ALLARM reproduces
+// the paper exactly.
+func ExperimentSweepVs(cfg Config, id string, opt Policy) (*Sweep, error) {
 	switch id {
 	case "table1", "area":
 		return NewSweep(), nil
@@ -76,10 +91,10 @@ func ExperimentSweep(cfg Config, id string) (*Sweep, error) {
 		c.Policy = Baseline
 		return NewSweep(Job{Config: c}).CrossBenchmarks(Benchmarks()...), nil
 	case "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g":
-		return PairsSweep(cfg), nil
+		return PairsSweepVs(cfg, opt), nil
 	case "fig3h":
-		// Per benchmark: the full-size baseline reference, then ALLARM at
-		// each Figure 3h probe-filter size.
+		// Per benchmark: the full-size baseline reference, then the
+		// optimised policy at each Figure 3h probe-filter size.
 		s := NewSweep()
 		for _, b := range Benchmarks() {
 			ref := cfg
@@ -87,14 +102,14 @@ func ExperimentSweep(cfg Config, id string) (*Sweep, error) {
 			s.Add(Job{Benchmark: b, Config: ref})
 			for _, div := range fig3hSizes {
 				c := cfg
-				c.Policy = ALLARM
+				c.Policy = opt
 				c.PFBytes = cfg.PFBytes / div
 				s.Add(Job{Benchmark: b, Config: c})
 			}
 		}
 		return s, nil
 	case "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f":
-		policy := fig4Policy(id)
+		policy := fig4Policy(id, opt)
 		// Per benchmark: the panel's policy at each Figure 4 probe-filter
 		// size, normalised to the full-size baseline. For the baseline
 		// panels that reference IS the first grid point, so no extra
@@ -137,7 +152,15 @@ func RunExperiment(w io.Writer, cfg Config, id string) error {
 // Runner (nil means a default all-cores Runner), for callers that want
 // cancellation, bounded parallelism or progress observation.
 func RunExperimentWith(ctx context.Context, w io.Writer, cfg Config, id string, r *Runner) error {
-	sweep, err := ExperimentSweep(cfg, id)
+	return RunExperimentVs(ctx, w, cfg, id, ALLARM, r)
+}
+
+// RunExperimentVs is RunExperimentWith with the optimised policy under
+// evaluation made explicit: the experiment's grid is built by
+// ExperimentSweepVs and rendered with the same normalisations the paper
+// uses, so any registered policy can be read off the paper's figures.
+func RunExperimentVs(ctx context.Context, w io.Writer, cfg Config, id string, opt Policy, r *Runner) error {
+	sweep, err := ExperimentSweepVs(cfg, id, opt)
 	if err != nil {
 		return err
 	}
@@ -151,12 +174,12 @@ func RunExperimentWith(ctx context.Context, w io.Writer, cfg Config, id string, 
 	if err := FirstError(results); err != nil {
 		return err
 	}
-	return renderExperiment(w, cfg, id, results)
+	return renderExperiment(w, cfg, id, opt, results)
 }
 
 // renderExperiment formats the sweep results of experiment id, which
-// must be in ExperimentSweep(cfg, id) spec order.
-func renderExperiment(w io.Writer, cfg Config, id string, results []SweepResult) error {
+// must be in ExperimentSweepVs(cfg, id, opt) spec order.
+func renderExperiment(w io.Writer, cfg Config, id string, opt Policy, results []SweepResult) error {
 	switch id {
 	case "table1":
 		return renderTable1(w, cfg)
@@ -171,7 +194,7 @@ func renderExperiment(w io.Writer, cfg Config, id string, results []SweepResult)
 	case "fig3h":
 		return renderFig3h(w, cfg, results)
 	case "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f":
-		return renderFig4(w, cfg, id, results)
+		return renderFig4(w, cfg, id, opt, results)
 	case "area":
 		return renderArea(w)
 	}
@@ -301,10 +324,11 @@ func renderFig3h(w io.Writer, cfg Config, results []SweepResult) error {
 // (the paper: 512, 256, 128, 64, 32 kB).
 var fig4Divisors = []int{1, 2, 4, 8, 16}
 
-// fig4Policy returns the directory policy of a Figure 4 panel.
-func fig4Policy(id string) Policy {
+// fig4Policy returns the directory policy of a Figure 4 panel: the
+// baseline for panels a-c, the optimised policy for panels d-f.
+func fig4Policy(id string, opt Policy) Policy {
 	if id == "fig4d" || id == "fig4e" || id == "fig4f" {
-		return ALLARM
+		return opt
 	}
 	return Baseline
 }
@@ -315,7 +339,7 @@ func fig4Policy(id string) Policy {
 // baseline. Results are benchmark-major, mirroring ExperimentSweep: for
 // ALLARM panels the baseline reference run leads each group; for
 // baseline panels the first grid point is the reference.
-func renderFig4(w io.Writer, cfg Config, id string, results []SweepResult) error {
+func renderFig4(w io.Writer, cfg Config, id string, opt Policy, results []SweepResult) error {
 	metric := map[string]string{
 		"fig4a": "speedup", "fig4b": "evictions", "fig4c": "traffic",
 		"fig4d": "speedup", "fig4e": "evictions", "fig4f": "traffic",
@@ -327,7 +351,7 @@ func renderFig4(w io.Writer, cfg Config, id string, results []SweepResult) error
 	}
 	t := stats.NewTable(header...)
 	lead := 0 // extra reference job ahead of each group's grid points
-	if fig4Policy(id) != Baseline {
+	if fig4Policy(id, opt) != Baseline {
 		lead = 1
 	}
 	stride := lead + len(fig4Divisors)

@@ -18,6 +18,9 @@ type CtrlStats struct {
 	// UntrackedFills counts ALLARM fills granted without a probe-filter
 	// entry (thread-local service path).
 	UntrackedFills uint64
+	// UncachedFills counts no-fill grants: the data was consumed without
+	// installing the line (deferred-allocation policies).
+	UncachedFills uint64
 }
 
 // CacheCtrl is one node's cache-side coherence controller, fronting the
@@ -199,11 +202,32 @@ func (c *CacheCtrl) handleFill(now sim.Time, m *Msg) {
 	p := c.pending
 	c.pending = mshr{}
 	c.hasPending = false
+	t := c.occupy(now)
+
+	if m.NoFill {
+		// Uncached service: the access completes with the delivered data
+		// but the line is not installed, so no copy (and no tracking
+		// state) survives the transaction. Only read misses may be served
+		// this way — an uncached store would have nowhere to commit.
+		if p.write {
+			panic(fmt.Sprintf("coherence: node %d received a no-fill grant for a store miss", c.node))
+		}
+		c.stats.UncachedFills++
+		if c.OnLoad != nil {
+			c.OnLoad(m.Addr, m.Version)
+		}
+		cmp := c.pool.Get()
+		cmp.Op, cmp.Addr, cmp.Src, cmp.Dst, cmp.ToDir = CmpAck, m.Addr, c.node, c.home(m.Addr), true
+		cmp.TxnID = m.TxnID
+		c.port.Send(cmp)
+		c.eng.At(t, p.done)
+		return
+	}
+
 	c.stats.Fills++
 	if m.Untracked {
 		c.stats.UntrackedFills++
 	}
-	t := c.occupy(now)
 
 	version := m.Version
 	// An upgrade grant can race a stale-but-older DRAM copy: if we still
@@ -281,6 +305,7 @@ func (c *CacheCtrl) handleProbe(now sim.Time, m *Msg) {
 		data := c.pool.Get()
 		data.Op, data.Addr, data.Src, data.Dst = DataMsg, m.Addr, c.node, m.ForwardTo
 		data.Grant, data.Version, data.TxnID = m.Grant, version, m.TxnID
+		data.NoFill = m.NoFill // uncached service rides the probe
 		c.sendAt(t, data)
 	} else if owner && dirty {
 		// Back-invalidation (or downgrade) with no requester: dirty data

@@ -276,3 +276,83 @@ func TestOpClassification(t *testing.T) {
 		}
 	}
 }
+
+// TestNoFillCompletesWithoutInstalling: an uncached grant finishes the
+// pending access and closes the transaction, but leaves no copy behind.
+func TestNoFillCompletesWithoutInstalling(t *testing.T) {
+	cc, port, eng := newCtrl(t)
+	var doneAt sim.Time
+	var loaded []uint64
+	cc.OnLoad = func(addr mem.PAddr, version uint64) { loaded = append(loaded, version) }
+	cc.CoreAccess(0, line(1), false, func(now sim.Time) { doneAt = now })
+	eng.Run(0)
+	port.sent = nil
+	cc.HandleMsg(eng.Now(), &Msg{
+		Op: DataMsg, Addr: line(1), Src: 1, Dst: 0,
+		Grant: cache.Shared, Version: 4, TxnID: 9, NoFill: true,
+	})
+	eng.Run(0)
+	if doneAt == 0 {
+		t.Fatal("no-fill grant did not complete the access")
+	}
+	if cc.HasPending() {
+		t.Fatal("MSHR still held")
+	}
+	if l := cc.Hierarchy().PeekLine(line(1)); l != nil {
+		t.Fatalf("no-fill grant installed the line: %+v", l)
+	}
+	if len(loaded) != 1 || loaded[0] != 4 {
+		t.Fatalf("load observed %v, want the delivered version", loaded)
+	}
+	cmp := port.last()
+	if cmp == nil || cmp.Op != CmpAck || cmp.TxnID != 9 || !cmp.ToDir {
+		t.Fatalf("no CmpAck closed the transaction: %v", cmp)
+	}
+	if s := cc.Stats(); s.UncachedFills != 1 || s.Fills != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestNoFillStorePanics: writes must never be served uncached.
+func TestNoFillStorePanics(t *testing.T) {
+	cc, _, eng := newCtrl(t)
+	cc.CoreAccess(0, line(1), true, func(sim.Time) {})
+	eng.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no-fill store grant accepted")
+		}
+	}()
+	cc.HandleMsg(eng.Now(), &Msg{
+		Op: DataMsg, Addr: line(1), Src: 1, Dst: 0,
+		Grant: cache.Modified, NoFill: true,
+	})
+}
+
+// TestProbeForwardPropagatesNoFill: a PrbLocal carrying NoFill forwards
+// owner data with the flag intact, so the remote requester consumes it
+// uncached.
+func TestProbeForwardPropagatesNoFill(t *testing.T) {
+	cc, port, eng := newCtrl(t)
+	// Fill the line as Modified owner first.
+	cc.CoreAccess(0, line(1), true, func(sim.Time) {})
+	eng.Run(0)
+	cc.HandleMsg(eng.Now(), &Msg{Op: DataMsg, Addr: line(1), Src: 1, Dst: 0, Grant: cache.Modified})
+	eng.Run(0)
+	port.sent = nil
+
+	cc.HandleMsg(eng.Now(), &Msg{
+		Op: PrbLocal, Addr: line(1), Src: 1, Dst: 0,
+		Mode: GetS, ForwardTo: 5, Grant: cache.Shared, NoFill: true, TxnID: 3,
+	})
+	eng.Run(0)
+	var data *Msg
+	for _, m := range port.sent {
+		if m.Op == DataMsg {
+			data = m
+		}
+	}
+	if data == nil || data.Dst != 5 || !data.NoFill {
+		t.Fatalf("forwarded data lost NoFill: %v", data)
+	}
+}

@@ -114,6 +114,13 @@ type Msg struct {
 	// Untracked marks a DataMsg granted by an ALLARM home without a
 	// probe-filter entry (bookkeeping only; see cache.Line.Untracked).
 	Untracked bool
+	// NoFill marks a DataMsg (or the PrbLocal that may forward one) whose
+	// data must be consumed without installing the line: the home serves
+	// the access but neither a probe-filter entry nor a cached copy comes
+	// into existence. Allocation policies use it to defer tracking (e.g.
+	// hysteresis) without creating undiscoverable remote copies; it is
+	// only legal for read misses.
+	NoFill bool
 	// Hit reports whether a probed cache held the line (Ack/AckData).
 	Hit bool
 	// PrevState is the probed cache's state before the probe took effect.

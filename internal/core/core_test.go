@@ -214,3 +214,55 @@ func TestProbeFilterBadGeometryPanics(t *testing.T) {
 	}()
 	NewProbeFilter(3*mem.LineBytes, 2) // set count not a power of two
 }
+
+func TestBuiltinAllocPolicies(t *testing.T) {
+	local := MissInfo{Addr: line(1), Requester: 2, Home: 2, Local: true}
+	remote := MissInfo{Addr: line(1), Requester: 3, Home: 2, Local: false}
+
+	base := NewAllocPolicy(Baseline, nil)
+	if base.Name() != "baseline" {
+		t.Fatalf("name %q", base.Name())
+	}
+	if base.OnMiss(local) != Track || base.OnMiss(remote) != Track {
+		t.Fatal("baseline must always track")
+	}
+	if base.ProbeLocalOnRemoteMiss(line(1)) {
+		t.Fatal("baseline never probes the local core")
+	}
+
+	al := NewAllocPolicy(ALLARM, nil)
+	if al.Name() != "allarm" {
+		t.Fatalf("name %q", al.Name())
+	}
+	if al.OnMiss(local) != GrantUntracked || al.OnMiss(remote) != Track {
+		t.Fatal("allarm decisions wrong")
+	}
+	if !al.ProbeLocalOnRemoteMiss(line(1)) {
+		t.Fatal("allarm must probe on remote misses")
+	}
+
+	// Range registers gate both the untracked grant and the probe.
+	rs, err := NewRangeSet(AddrRange{Start: line(100), End: line(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranged := NewAllocPolicy(ALLARM, rs)
+	if ranged.OnMiss(local) != Track || ranged.ProbeLocalOnRemoteMiss(line(1)) {
+		t.Fatal("out-of-range address not treated as baseline")
+	}
+	in := local
+	in.Addr = line(150)
+	if ranged.OnMiss(in) != GrantUntracked || !ranged.ProbeLocalOnRemoteMiss(line(150)) {
+		t.Fatal("in-range address lost ALLARM behaviour")
+	}
+}
+
+func TestMissActionString(t *testing.T) {
+	for want, a := range map[string]MissAction{
+		"track": Track, "grant-untracked": GrantUntracked, "grant-uncached": GrantUncached,
+	} {
+		if a.String() != want {
+			t.Fatalf("%v prints %q", a, a.String())
+		}
+	}
+}

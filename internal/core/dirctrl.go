@@ -44,6 +44,9 @@ type DirStats struct {
 	// UntrackedGrants counts local requests served with no probe-filter
 	// allocation (ALLARM's thread-local fast path).
 	UntrackedGrants uint64
+	// UncachedGrants counts requests served with no allocation and no
+	// fill (deferred-allocation policies' GrantUncached action).
+	UncachedGrants uint64
 
 	// Broadcasts counts invalidation broadcasts (O/S entries: Hammer does
 	// not know the sharers); DirectedProbes counts single-owner probes.
@@ -106,6 +109,10 @@ type txn struct {
 	localProbeHit  bool
 	localProbeAt   sim.Time
 	untracked      bool // grant without probe-filter allocation
+	noFill         bool // grant without installing the line (GrantUncached)
+
+	decided bool       // the alloc policy has been consulted for this txn
+	action  MissAction // its decision (valid when decided)
 
 	finalValid bool // entry state to install at completion
 	finalState EntryState
@@ -117,7 +124,11 @@ type Config struct {
 	Node mem.NodeID
 	// Nodes is the machine's node count (broadcast fan-out).
 	Nodes int
-	// Policy selects Baseline or ALLARM allocation.
+	// Alloc is the directory's allocation policy. When nil, the legacy
+	// Policy/Ranges fields select a built-in (NewAllocPolicy).
+	Alloc AllocPolicy
+	// Policy selects Baseline or ALLARM allocation (fallback when Alloc
+	// is nil).
 	Policy Policy
 	// Ranges optionally restricts ALLARM to physical ranges (nil = all).
 	Ranges *RangeSet
@@ -132,11 +143,12 @@ type Config struct {
 // probe filter and memory controller and runs the coherence flows for
 // every line homed at the node.
 type DirCtrl struct {
-	cfg  Config
-	pf   *ProbeFilter
-	eng  *sim.Engine
-	port coherence.Port
-	dram *dram.Controller
+	cfg   Config
+	alloc AllocPolicy
+	pf    *ProbeFilter
+	eng   *sim.Engine
+	port  coherence.Port
+	dram  *dram.Controller
 
 	busy    map[mem.PAddr]*txn
 	waiters map[mem.PAddr][]*coherence.Msg
@@ -167,8 +179,12 @@ func NewDirCtrl(cfg Config, pf *ProbeFilter, eng *sim.Engine, port coherence.Por
 	if cfg.RetryDelay <= 0 {
 		cfg.RetryDelay = 5 * sim.Nanosecond
 	}
+	if cfg.Alloc == nil {
+		cfg.Alloc = NewAllocPolicy(cfg.Policy, cfg.Ranges)
+	}
 	return &DirCtrl{
 		cfg:     cfg,
+		alloc:   cfg.Alloc,
 		pf:      pf,
 		eng:     eng,
 		port:    port,
@@ -182,8 +198,8 @@ func NewDirCtrl(cfg Config, pf *ProbeFilter, eng *sim.Engine, port coherence.Por
 // Node returns the directory's node ID.
 func (d *DirCtrl) Node() mem.NodeID { return d.cfg.Node }
 
-// Policy returns the allocation policy in force.
-func (d *DirCtrl) Policy() Policy { return d.cfg.Policy }
+// Alloc returns the allocation policy in force.
+func (d *DirCtrl) Alloc() AllocPolicy { return d.alloc }
 
 // PF exposes the probe filter (stats, invariant checks).
 func (d *DirCtrl) PF() *ProbeFilter { return d.pf }
@@ -211,11 +227,6 @@ func (d *DirCtrl) Quiesced() bool { return len(d.busy) == 0 }
 // DRAMVersion returns the current DRAM data version of a line (invariant
 // checks).
 func (d *DirCtrl) DRAMVersion(addr mem.PAddr) uint64 { return d.dramVer[mem.LineOf(addr)] }
-
-// allarmEnabled reports whether ALLARM applies to addr.
-func (d *DirCtrl) allarmEnabled(addr mem.PAddr) bool {
-	return d.cfg.Policy == ALLARM && d.cfg.Ranges.Enabled(addr)
-}
 
 // occupy reserves the directory pipeline for one message slot starting
 // no earlier than now, returning the slot's completion time.
@@ -368,23 +379,65 @@ func (d *DirCtrl) dispatch(now sim.Time, t *txn) {
 	d.hitFlow(now, t, e)
 }
 
-// missFlow handles a request whose line has no probe-filter entry.
+// missFlow handles a request whose line has no probe-filter entry. The
+// allocation policy picks one of three flows: allocate-and-track (the
+// conventional path, with a parallel local probe when untracked copies
+// may exist at the home core), an untracked local grant (ALLARM's
+// thread-local fast path), or an uncached grant (deferred allocation).
 func (d *DirCtrl) missFlow(now sim.Time, t *txn, isLocal bool) {
 	r := t.req.Src
 	wantM := t.req.Op == coherence.GetM
 
-	if d.allarmEnabled(t.addr) && isLocal {
-		// ALLARM thread-local fast path: serve from DRAM with no
-		// allocation and no coherence traffic (§II-A).
+	// Consult the policy once per transaction: retries and restarts
+	// reuse the decision, so stateful policies see each miss once.
+	if !t.decided {
+		t.decided = true
+		t.action = d.alloc.OnMiss(MissInfo{
+			Addr:      t.addr,
+			Requester: r,
+			Home:      d.cfg.Node,
+			Local:     isLocal,
+			Write:     wantM,
+		})
+	}
+
+	switch t.action {
+	case GrantUntracked:
+		if !isLocal {
+			panic(fmt.Sprintf("core: policy %q granted an untracked copy to remote node %d (undiscoverable)",
+				d.alloc.Name(), r))
+		}
+		// Thread-local fast path: serve from DRAM with no allocation and
+		// no coherence traffic (§II-A).
 		t.untracked = true
 		t.needData = true
 		t.grant = grantFor(wantM)
 		d.stats.UntrackedGrants++
 		d.issueDRAM(now, t)
 		return
+
+	case GrantUncached:
+		if wantM {
+			panic(fmt.Sprintf("core: policy %q granted an uncached fill for a store miss", d.alloc.Name()))
+		}
+		// Serve the read without installing state anywhere: no entry, no
+		// cached copy. The home's own core may still hold the line
+		// untracked, so remote requesters probe it like ALLARM does.
+		t.untracked = true
+		t.noFill = true
+		d.stats.UncachedGrants++
+		if !isLocal && d.alloc.ProbeLocalOnRemoteMiss(t.addr) {
+			d.sendLocalProbe(t, r, cache.Shared, true)
+			d.issueDRAM(now, t)
+			return
+		}
+		t.needData = true
+		t.grant = cache.Shared
+		d.issueDRAM(now, t)
+		return
 	}
 
-	// Allocate an entry; this may evict a victim that must be
+	// Track: allocate an entry; this may evict a victim that must be
 	// back-invalidated from every cache (the paper's central overhead).
 	victim, evicted, ok := d.pf.Alloc(t.addr, EntryEM, r, d.lineBusy)
 	if !ok {
@@ -399,19 +452,14 @@ func (d *DirCtrl) missFlow(now sim.Time, t *txn, isLocal bool) {
 	t.finalState = EntryEM
 	t.finalOwner = r
 
-	if d.allarmEnabled(t.addr) && !isLocal {
-		// ALLARM remote miss: query the home's own core for an untracked
-		// copy, in parallel with the DRAM access (§II-D).
-		t.localProbe = true
-		d.stats.LocalProbes++
+	if !isLocal && d.alloc.ProbeLocalOnRemoteMiss(t.addr) {
+		// Remote miss under a policy with untracked local copies: query
+		// the home's own core, in parallel with the DRAM access (§II-D).
 		probeGrant := cache.Shared // a hit means the line is now shared
 		if wantM {
 			probeGrant = cache.Modified
 		}
-		m := d.pool.Get()
-		m.Op, m.Addr, m.Src, m.Dst = coherence.PrbLocal, t.addr, d.cfg.Node, d.cfg.Node
-		m.Mode, m.ForwardTo, m.Grant, m.TxnID = t.req.Op, r, probeGrant, t.id
-		d.port.Send(m)
+		d.sendLocalProbe(t, r, probeGrant, false)
 		d.issueDRAM(now, t)
 		return
 	}
@@ -421,6 +469,18 @@ func (d *DirCtrl) missFlow(now sim.Time, t *txn, isLocal bool) {
 	t.needData = true
 	t.grant = grantFor(wantM)
 	d.issueDRAM(now, t)
+}
+
+// sendLocalProbe issues the PrbLocal query of the home's own core for
+// transaction t, forwarding any owner data to requester r with grant.
+func (d *DirCtrl) sendLocalProbe(t *txn, r mem.NodeID, grant cache.State, noFill bool) {
+	t.localProbe = true
+	d.stats.LocalProbes++
+	m := d.pool.Get()
+	m.Op, m.Addr, m.Src, m.Dst = coherence.PrbLocal, t.addr, d.cfg.Node, d.cfg.Node
+	m.Mode, m.ForwardTo, m.Grant, m.TxnID = t.req.Op, r, grant, t.id
+	m.NoFill = noFill
+	d.port.Send(m)
 }
 
 func grantFor(wantM bool) cache.State {
@@ -567,7 +627,7 @@ func (d *DirCtrl) maybeSendData(t *txn) {
 	t.dataSent = true
 	m := d.pool.Get()
 	m.Op, m.Addr, m.Src, m.Dst = coherence.DataMsg, t.addr, d.cfg.Node, t.req.Src
-	m.Grant, m.Untracked = t.grant, t.untracked
+	m.Grant, m.Untracked, m.NoFill = t.grant, t.untracked, t.noFill
 	m.Version, m.TxnID = d.dramVer[t.addr], t.id
 	d.port.Send(m)
 }
@@ -671,7 +731,10 @@ func (d *DirCtrl) localProbeAck(now sim.Time, t *txn, m *Msg) {
 			// The home's core held the line untracked and forwarded data
 			// directly to the requester.
 			t.dataForwarded = true
-			if isGetM(t.req) {
+			if t.noFill {
+				// Uncached service installed no entry; the home core's
+				// copy stays untracked (downgraded by the probe).
+			} else if isGetM(t.req) {
 				t.finalValid, t.finalState, t.finalOwner = true, EntryEM, t.req.Src
 			} else {
 				switch m.PrevState {
@@ -684,7 +747,9 @@ func (d *DirCtrl) localProbeAck(now sim.Time, t *txn, m *Msg) {
 		} else {
 			// Clean shared copy at the home core: DRAM is current.
 			t.needData = true
-			if isGetM(t.req) {
+			if t.noFill {
+				t.grant = cache.Shared
+			} else if isGetM(t.req) {
 				t.grant = cache.Modified
 				t.finalValid, t.finalState, t.finalOwner = true, EntryEM, t.req.Src
 			} else {
@@ -696,7 +761,11 @@ func (d *DirCtrl) localProbeAck(now sim.Time, t *txn, m *Msg) {
 		// Probe missed: the DRAM access is the critical path, exactly the
 		// case ALLARM hides (§II-D).
 		t.needData = true
-		t.grant = grantFor(isGetM(t.req))
+		if t.noFill {
+			t.grant = cache.Shared
+		} else {
+			t.grant = grantFor(isGetM(t.req))
+		}
 	}
 
 	d.maybeSendData(t)
@@ -796,7 +865,7 @@ func (d *DirCtrl) restart(t *txn) {
 	t.cmpReceived = false
 	t.parked, t.entryTouched = false, false
 	t.localProbe, t.localProbeDone, t.localProbeHit = false, false, false
-	t.untracked = false
+	t.untracked, t.noFill = false, false
 	t.finalValid = false
 	d.scheduleDispatch(t)
 }

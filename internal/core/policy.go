@@ -34,6 +34,123 @@ func (p Policy) String() string {
 	}
 }
 
+// MissAction is an allocation policy's decision for one probe-filter
+// miss.
+type MissAction uint8
+
+const (
+	// Track installs a probe-filter entry for the line (the conventional
+	// sparse-directory behaviour; always legal).
+	Track MissAction = iota
+	// GrantUntracked serves the miss from DRAM with no entry; the
+	// requester caches the line marked untracked. Only legal for local
+	// requesters: untracked copies are discoverable solely by the home's
+	// PrbLocal query of its own core.
+	GrantUntracked
+	// GrantUncached serves the miss from DRAM (or a forwarding local
+	// copy) with no entry and no fill: the requester consumes the data
+	// without caching the line, so no state survives anywhere. Only
+	// legal for read misses. Deferred-allocation schemes use it to make
+	// a line prove its sharing before spending an entry on it.
+	GrantUncached
+)
+
+// String implements fmt.Stringer.
+func (a MissAction) String() string {
+	switch a {
+	case Track:
+		return "track"
+	case GrantUntracked:
+		return "grant-untracked"
+	case GrantUncached:
+		return "grant-uncached"
+	default:
+		return fmt.Sprintf("MissAction(%d)", uint8(a))
+	}
+}
+
+// MissInfo describes one demand request that missed the probe filter,
+// for the allocation policy's decision.
+type MissInfo struct {
+	// Addr is the line-aligned physical address.
+	Addr mem.PAddr
+	// Requester and Home are the requesting and home nodes.
+	Requester, Home mem.NodeID
+	// Local reports whether the requester is in the home's affinity
+	// domain (Requester == Home).
+	Local bool
+	// Write reports whether the request wants ownership (GetM).
+	Write bool
+}
+
+// AllocPolicy decides how a directory controller handles probe-filter
+// misses — the axis the paper explores (allocate-on-any-miss versus
+// allocate-on-remote-miss, §II). One instance serves one directory and
+// may keep per-directory state (it is consulted on that directory's
+// event goroutine only); it is consulted exactly once per transaction
+// that misses, so stateful policies are not skewed by retries.
+type AllocPolicy interface {
+	// Name identifies the policy (stats, error messages).
+	Name() string
+	// OnMiss picks the action for a miss. Returning GrantUntracked for a
+	// remote requester, or GrantUncached for a write, is a protocol
+	// violation and panics in the directory.
+	OnMiss(m MissInfo) MissAction
+	// ProbeLocalOnRemoteMiss reports whether a remote miss to addr must
+	// query the home's own core (PrbLocal) for an untracked copy, in
+	// parallel with the DRAM access. Any policy that may ever leave addr
+	// untracked at the home core must return true, or those copies
+	// become undiscoverable.
+	ProbeLocalOnRemoteMiss(addr mem.PAddr) bool
+}
+
+// NewAllocPolicy returns the built-in policy implementation for the
+// legacy Policy enum (the fallback used when no explicit AllocPolicy is
+// configured).
+func NewAllocPolicy(p Policy, ranges *RangeSet) AllocPolicy {
+	if p == ALLARM {
+		return &ALLARMAlloc{Ranges: ranges}
+	}
+	return BaselineAlloc{}
+}
+
+// BaselineAlloc is the conventional sparse directory: every miss
+// allocates, no local probes are needed.
+type BaselineAlloc struct{}
+
+// Name implements AllocPolicy.
+func (BaselineAlloc) Name() string { return "baseline" }
+
+// OnMiss implements AllocPolicy.
+func (BaselineAlloc) OnMiss(MissInfo) MissAction { return Track }
+
+// ProbeLocalOnRemoteMiss implements AllocPolicy.
+func (BaselineAlloc) ProbeLocalOnRemoteMiss(mem.PAddr) bool { return false }
+
+// ALLARMAlloc is the paper's contribution: local misses within the
+// enabled ranges are served untracked; remote misses allocate and probe
+// the home's core for untracked copies.
+type ALLARMAlloc struct {
+	// Ranges restricts the policy to physical ranges (nil = everywhere).
+	Ranges *RangeSet
+}
+
+// Name implements AllocPolicy.
+func (*ALLARMAlloc) Name() string { return "allarm" }
+
+// OnMiss implements AllocPolicy.
+func (p *ALLARMAlloc) OnMiss(m MissInfo) MissAction {
+	if m.Local && p.Ranges.Enabled(m.Addr) {
+		return GrantUntracked
+	}
+	return Track
+}
+
+// ProbeLocalOnRemoteMiss implements AllocPolicy.
+func (p *ALLARMAlloc) ProbeLocalOnRemoteMiss(addr mem.PAddr) bool {
+	return p.Ranges.Enabled(addr)
+}
+
 // AddrRange is a half-open physical address range [Start, End).
 type AddrRange struct {
 	Start, End mem.PAddr

@@ -33,6 +33,10 @@ type Config struct {
 	PFCoverage int // bytes of cached data tracked per directory
 	PFWays     int
 
+	// Alloc, when non-nil, builds each directory's allocation policy
+	// (one instance per directory, so policies may keep per-directory
+	// state). When nil, the legacy Policy/Ranges pair selects a built-in.
+	Alloc  func(node mem.NodeID) core.AllocPolicy
 	Policy core.Policy
 	Ranges *core.RangeSet
 
@@ -164,6 +168,10 @@ func New(cfg Config) (*Machine, error) {
 		id := mem.NodeID(i)
 		hier := cache.NewHierarchy(cfg.L1Bytes, cfg.L1Ways, cfg.L2Bytes, cfg.L2Ways)
 		dc := dram.New(cfg.DRAMLatency, cfg.DRAMInterval)
+		var alloc core.AllocPolicy
+		if cfg.Alloc != nil {
+			alloc = cfg.Alloc(id)
+		}
 		n := &node{
 			id:   id,
 			hier: hier,
@@ -171,7 +179,7 @@ func New(cfg Config) (*Machine, error) {
 			dram: dc,
 			dir: core.NewDirCtrl(core.Config{
 				Node: id, Nodes: cfg.Nodes,
-				Policy: cfg.Policy, Ranges: cfg.Ranges,
+				Alloc: alloc, Policy: cfg.Policy, Ranges: cfg.Ranges,
 				LookupLatency: cfg.DirLatency,
 			}, core.NewProbeFilter(cfg.PFCoverage, cfg.PFWays), m.eng, p, dc),
 		}
@@ -403,6 +411,7 @@ type Totals struct {
 	LocalProbes     uint64
 	ProbesHidden    uint64
 	UntrackedGrants uint64
+	UncachedGrants  uint64
 	DRAMReads       uint64
 	DRAMWrites      uint64
 }
@@ -423,6 +432,7 @@ func (r *RunResult) Totals() Totals {
 		t.LocalProbes += r.Dir[i].LocalProbes
 		t.ProbesHidden += r.Dir[i].LocalProbesHidden
 		t.UntrackedGrants += r.Dir[i].UntrackedGrants
+		t.UncachedGrants += r.Dir[i].UncachedGrants
 		t.DRAMReads += r.DRAM[i].Reads
 		t.DRAMWrites += r.DRAM[i].Writes
 	}

@@ -1,14 +1,24 @@
 // Package trace provides a compact binary format for memory-access
-// traces: capture a workload's stream once and replay it later (or feed
-// externally collected traces into the simulator).
+// traces: capture a workload's streams once and replay them later (or
+// feed externally collected traces into the simulator).
 //
-// Format (little-endian):
+// Format version 2 (little-endian):
 //
-//	header:  magic "ALTR" | u16 version | u16 reserved | u32 threads
-//	record:  u8 flags (bit0 = write) | u8 thread | u16 thinkNs | u64 vaddr
+//	header:     magic "ALTR" | u16 version | u16 reserved | u32 threads
+//	            u32 placements | u32 reserved
+//	placement:  u32 thread | u64 page                      (12 bytes)
+//	record:     u8 flags (bit0 = write, bit1 = warmup) | u8 thread
+//	            u16 reserved | u32 thinkPs | u64 vaddr     (16 bytes)
 //
-// The format is deliberately simple — fixed 12-byte records — so traces
-// can be mmap-scanned by external tools.
+// The placement section records the workload's page-placement regions
+// (first toucher per page), and warmup-flagged records carry the
+// initialisation pass that precedes the measured region of interest.
+// Together they make a replayed run bit-identical to the live run that
+// was captured: placement, warmup, access order and picosecond-exact
+// think times all survive the round trip.
+//
+// Version 1 traces (12-byte records, nanosecond think, no placements or
+// warmup) are still readable.
 package trace
 
 import (
@@ -16,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"allarm/internal/mem"
 	"allarm/internal/sim"
@@ -25,27 +36,52 @@ import (
 // Magic identifies a trace stream.
 var Magic = [4]byte{'A', 'L', 'T', 'R'}
 
-// Version is the current format version.
-const Version = 1
+// Format versions. Writers produce Version; readers accept both.
+const (
+	Version1 = 1
+	Version  = 2
+)
 
-// recordBytes is the fixed wire size of one record.
-const recordBytes = 12
+// Wire sizes of one record, by version.
+const (
+	recordBytesV1    = 12
+	recordBytesV2    = 16
+	placementBytesV2 = 12
+)
 
-// Record is one traced access.
+// Record flag bits (v2).
+const (
+	flagWrite  = 1 << 0
+	flagWarmup = 1 << 1
+)
+
+// Placement declares a page's first toucher, mirroring
+// workload.Preplacer: the simulator pre-faults the page at the declared
+// thread's node before the run.
+type Placement struct {
+	Page   mem.VAddr
+	Thread int
+}
+
+// Record is one traced access. Warmup records belong to the workload's
+// initialisation pass and are replayed before the measured region of
+// interest.
 type Record struct {
 	Thread int
+	Warmup bool
 	Access workload.Access
 }
 
-// Writer encodes trace records.
+// Writer encodes trace records in the current format version.
 type Writer struct {
 	w       *bufio.Writer
 	threads int
 	wrote   uint64
 }
 
-// NewWriter writes a trace header for the given thread count.
-func NewWriter(w io.Writer, threads int) (*Writer, error) {
+// NewWriter writes a version-2 header (thread count and page-placement
+// section) and returns a writer for the access records.
+func NewWriter(w io.Writer, threads int, placements []Placement) (*Writer, error) {
 	if threads <= 0 || threads > 255 {
 		return nil, fmt.Errorf("trace: thread count %d out of range [1,255]", threads)
 	}
@@ -53,31 +89,50 @@ func NewWriter(w io.Writer, threads int) (*Writer, error) {
 	if _, err := bw.Write(Magic[:]); err != nil {
 		return nil, err
 	}
-	var hdr [8]byte
+	var hdr [16]byte
 	binary.LittleEndian.PutUint16(hdr[0:], Version)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(threads))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(placements)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
+	}
+	for _, p := range placements {
+		if p.Thread < 0 || p.Thread >= threads {
+			return nil, fmt.Errorf("trace: placement thread %d out of range [0,%d)", p.Thread, threads)
+		}
+		var buf [placementBytesV2]byte
+		binary.LittleEndian.PutUint32(buf[0:], uint32(p.Thread))
+		binary.LittleEndian.PutUint64(buf[4:], uint64(p.Page))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return nil, err
+		}
 	}
 	return &Writer{w: bw, threads: threads}, nil
 }
 
-// Write appends one record.
+// Write appends one record. Think times are stored in picoseconds,
+// saturating at ~4.29 ms (far beyond any modelled compute gap).
 func (w *Writer) Write(r Record) error {
 	if r.Thread < 0 || r.Thread >= w.threads {
 		return fmt.Errorf("trace: thread %d out of range [0,%d)", r.Thread, w.threads)
 	}
-	var buf [recordBytes]byte
+	var buf [recordBytesV2]byte
 	if r.Access.Write {
-		buf[0] = 1
+		buf[0] |= flagWrite
+	}
+	if r.Warmup {
+		buf[0] |= flagWarmup
 	}
 	buf[1] = byte(r.Thread)
-	thinkNs := r.Access.Think / sim.Nanosecond
-	if thinkNs > 0xffff {
-		thinkNs = 0xffff
+	thinkPs := int64(r.Access.Think)
+	if thinkPs < 0 {
+		thinkPs = 0
 	}
-	binary.LittleEndian.PutUint16(buf[2:], uint16(thinkNs))
-	binary.LittleEndian.PutUint64(buf[4:], uint64(r.Access.VAddr))
+	if thinkPs > math.MaxUint32 {
+		thinkPs = math.MaxUint32
+	}
+	binary.LittleEndian.PutUint32(buf[4:], uint32(thinkPs))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Access.VAddr))
 	_, err := w.w.Write(buf[:])
 	w.wrote++
 	return err
@@ -89,13 +144,16 @@ func (w *Writer) Records() uint64 { return w.wrote }
 // Flush flushes buffered records to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader decodes trace records.
+// Reader decodes trace records of either format version.
 type Reader struct {
-	r       *bufio.Reader
-	threads int
+	r          *bufio.Reader
+	version    int
+	threads    int
+	placements []Placement
 }
 
-// NewReader validates the header and returns a reader.
+// NewReader validates the header, loads the placement section (v2) and
+// returns a reader positioned at the first access record.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
@@ -109,22 +167,79 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != Version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	version := int(binary.LittleEndian.Uint16(hdr[0:]))
+	if version != Version1 && version != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	threads := int(binary.LittleEndian.Uint32(hdr[4:]))
 	if threads <= 0 || threads > 255 {
 		return nil, fmt.Errorf("trace: corrupt thread count %d", threads)
 	}
-	return &Reader{r: br, threads: threads}, nil
+	rd := &Reader{r: br, version: version, threads: threads}
+	if version >= Version {
+		var ext [8]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading placement header: %w", err)
+		}
+		count := binary.LittleEndian.Uint32(ext[0:])
+		for i := uint32(0); i < count; i++ {
+			var buf [placementBytesV2]byte
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading placement %d: %w", i, err)
+			}
+			thread := int(binary.LittleEndian.Uint32(buf[0:]))
+			if thread >= threads {
+				return nil, fmt.Errorf("trace: placement thread %d out of range", thread)
+			}
+			rd.placements = append(rd.placements, Placement{
+				Page:   mem.VAddr(binary.LittleEndian.Uint64(buf[4:])),
+				Thread: thread,
+			})
+		}
+	}
+	return rd, nil
 }
+
+// Version returns the trace's format version.
+func (r *Reader) Version() int { return r.version }
 
 // Threads returns the trace's thread count.
 func (r *Reader) Threads() int { return r.threads }
 
+// Placements returns the page-placement section (empty for v1 traces).
+func (r *Reader) Placements() []Placement { return r.placements }
+
 // Read returns the next record, or io.EOF at the end of the trace.
 func (r *Reader) Read() (Record, error) {
-	var buf [recordBytes]byte
+	if r.version == Version1 {
+		return r.readV1()
+	}
+	var buf [recordBytesV2]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	thread := int(buf[1])
+	if thread >= r.threads {
+		return Record{}, fmt.Errorf("trace: record thread %d out of range", thread)
+	}
+	return Record{
+		Thread: thread,
+		Warmup: buf[0]&flagWarmup != 0,
+		Access: workload.Access{
+			VAddr: mem.VAddr(binary.LittleEndian.Uint64(buf[8:])),
+			Write: buf[0]&flagWrite != 0,
+			Think: sim.Time(binary.LittleEndian.Uint32(buf[4:])) * sim.Picosecond,
+		},
+	}, nil
+}
+
+// readV1 decodes one legacy 12-byte record (nanosecond-quantised think,
+// no warmup flag).
+func (r *Reader) readV1() (Record, error) {
+	var buf [recordBytesV1]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
@@ -139,21 +254,56 @@ func (r *Reader) Read() (Record, error) {
 		Thread: thread,
 		Access: workload.Access{
 			VAddr: mem.VAddr(binary.LittleEndian.Uint64(buf[4:])),
-			Write: buf[0]&1 != 0,
+			Write: buf[0]&flagWrite != 0,
 			Think: sim.Time(binary.LittleEndian.Uint16(buf[2:])) * sim.Nanosecond,
 		},
 	}, nil
 }
 
-// Capture drains a workload's streams into the writer, interleaving
-// threads round-robin (the interleaving does not matter for replay:
-// records carry their thread).
-func Capture(w *Writer, wl workload.Workload, seed uint64) error {
+// Capture writes a complete replayable trace of wl: its page placements
+// (when it implements workload.Preplacer), its warmup pass (when it
+// implements workload.WarmupStreamer) and its measured streams, threads
+// interleaved round-robin (the interleaving does not matter for replay:
+// records carry their thread). It returns the writer, already flushed,
+// for its record count.
+func Capture(w io.Writer, wl workload.Workload, seed uint64) (*Writer, error) {
+	var placements []Placement
+	if pp, ok := wl.(workload.Preplacer); ok {
+		pp.ForEachPage(func(page mem.VAddr, thread int) {
+			placements = append(placements, Placement{Page: page, Thread: thread})
+		})
+	}
+	tw, err := NewWriter(w, wl.Threads(), placements)
+	if err != nil {
+		return nil, err
+	}
+	if ws, ok := wl.(workload.WarmupStreamer); ok {
+		warm := make([]workload.Stream, wl.Threads())
+		for t := range warm {
+			warm[t] = ws.WarmupStream(t, seed)
+		}
+		if err := drain(tw, warm, true); err != nil {
+			return nil, err
+		}
+	}
 	streams := make([]workload.Stream, wl.Threads())
 	for t := range streams {
 		streams[t] = wl.Stream(t, seed)
 	}
-	live := len(streams)
+	if err := drain(tw, streams, false); err != nil {
+		return nil, err
+	}
+	return tw, tw.Flush()
+}
+
+// drain interleaves the streams round-robin into the writer.
+func drain(w *Writer, streams []workload.Stream, warmup bool) error {
+	live := 0
+	for _, s := range streams {
+		if s != nil {
+			live++
+		}
+	}
 	for live > 0 {
 		live = 0
 		for t, s := range streams {
@@ -166,25 +316,36 @@ func Capture(w *Writer, wl workload.Workload, seed uint64) error {
 				continue
 			}
 			live++
-			if err := w.Write(Record{Thread: t, Access: acc}); err != nil {
+			if err := w.Write(Record{Thread: t, Warmup: warmup, Access: acc}); err != nil {
 				return err
 			}
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
-// Replay loads an entire trace and exposes per-thread streams that
-// implement workload.Stream, for feeding a captured trace back into the
-// simulator.
+// Replay loads an entire trace and exposes per-thread streams (and the
+// captured warmup and page placements) for feeding back into the
+// simulator. It implements workload.Workload, workload.WarmupStreamer
+// and workload.Preplacer; the seed arguments are ignored, since a replay
+// is exact.
 type Replay struct {
-	threads int
-	perThr  [][]workload.Access
+	name       string
+	threads    int
+	perThr     [][]workload.Access
+	warm       [][]workload.Access
+	placements []Placement
 }
 
 // LoadReplay reads all records from r.
 func LoadReplay(r *Reader) (*Replay, error) {
-	rp := &Replay{threads: r.Threads(), perThr: make([][]workload.Access, r.Threads())}
+	rp := &Replay{
+		name:       "trace",
+		threads:    r.Threads(),
+		perThr:     make([][]workload.Access, r.Threads()),
+		warm:       make([][]workload.Access, r.Threads()),
+		placements: r.Placements(),
+	}
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -193,14 +354,25 @@ func LoadReplay(r *Reader) (*Replay, error) {
 		if err != nil {
 			return nil, err
 		}
-		rp.perThr[rec.Thread] = append(rp.perThr[rec.Thread], rec.Access)
+		if rec.Warmup {
+			rp.warm[rec.Thread] = append(rp.warm[rec.Thread], rec.Access)
+		} else {
+			rp.perThr[rec.Thread] = append(rp.perThr[rec.Thread], rec.Access)
+		}
 	}
 }
+
+// SetName overrides the replay's workload name (e.g. the trace's file
+// name).
+func (rp *Replay) SetName(name string) { rp.name = name }
+
+// Name implements workload.Workload.
+func (rp *Replay) Name() string { return rp.name }
 
 // Threads returns the replay's thread count.
 func (rp *Replay) Threads() int { return rp.threads }
 
-// Records returns the total record count.
+// Records returns the measured (non-warmup) record count.
 func (rp *Replay) Records() int {
 	n := 0
 	for _, accs := range rp.perThr {
@@ -209,9 +381,35 @@ func (rp *Replay) Records() int {
 	return n
 }
 
-// Stream returns thread t's replay stream.
-func (rp *Replay) Stream(t int) workload.Stream {
+// WarmupRecords returns the warmup record count.
+func (rp *Replay) WarmupRecords() int {
+	n := 0
+	for _, accs := range rp.warm {
+		n += len(accs)
+	}
+	return n
+}
+
+// Stream returns thread t's replay stream. The seed is ignored.
+func (rp *Replay) Stream(t int, _ uint64) workload.Stream {
 	return &replayStream{accs: rp.perThr[t]}
+}
+
+// WarmupStream implements workload.WarmupStreamer; it returns nil when
+// the trace carries no warmup pass for thread t.
+func (rp *Replay) WarmupStream(t int, _ uint64) workload.Stream {
+	if len(rp.warm[t]) == 0 {
+		return nil
+	}
+	return &replayStream{accs: rp.warm[t]}
+}
+
+// ForEachPage implements workload.Preplacer from the captured placement
+// section.
+func (rp *Replay) ForEachPage(fn func(page mem.VAddr, thread int)) {
+	for _, p := range rp.placements {
+		fn(p.Page, p.Thread)
+	}
 }
 
 type replayStream struct {

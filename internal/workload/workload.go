@@ -48,6 +48,13 @@ type Workload interface {
 	Stream(t int, seed uint64) Stream
 }
 
+// WarmupStreamer is implemented by workloads with an initialisation pass
+// that runs before the measured region of interest (statistics are reset
+// at the boundary). A nil returned stream means thread t has no warmup.
+type WarmupStreamer interface {
+	WarmupStream(t int, seed uint64) Stream
+}
+
 // Preplacer is implemented by workloads whose initialisation phase places
 // pages before the measured region of interest (e.g. blackscholes' data
 // is first-touched by thread 0 during init). The simulator pre-faults

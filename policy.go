@@ -1,0 +1,297 @@
+package allarm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"allarm/internal/core"
+	"allarm/internal/mem"
+)
+
+// Policy names a directory allocation policy — the axis the paper
+// explores. The value is a key into the package's policy registry:
+// "baseline" and "allarm" reproduce the paper's two machines,
+// "allarm-hyst" is the bundled deferred-allocation variant, and
+// RegisterPolicy adds user schemes. The zero value means Baseline.
+type Policy string
+
+// Registered built-in policies.
+const (
+	// Baseline is the conventional sparse directory: allocate on any
+	// miss (with clean-exclusive eviction notification, the paper's
+	// "already optimized" baseline).
+	Baseline Policy = "baseline"
+	// ALLARM allocates only on remote misses (the paper's contribution).
+	ALLARM Policy = "allarm"
+	// ALLARMHyst is ALLARM with allocation hysteresis: a directory entry
+	// is spent on a region's lines only from the second remote read miss
+	// to that region onward; the first remote read per region (and every
+	// remote write) behaves as documented on the policy. It demonstrates
+	// the pluggable-policy API.
+	ALLARMHyst Policy = "allarm-hyst"
+)
+
+// String implements fmt.Stringer; the zero value prints as "baseline".
+func (p Policy) String() string {
+	if p == "" {
+		return string(Baseline)
+	}
+	return string(p)
+}
+
+// ParsePolicy resolves a policy name against the registry — the one
+// parser all CLI flag handling shares. The empty string parses as
+// Baseline; unknown names error with the registered alternatives.
+func ParsePolicy(s string) (Policy, error) {
+	p := Policy(s)
+	if s == "" {
+		p = Baseline
+	}
+	policyMu.RLock()
+	_, ok := policyRegistry[string(p)]
+	policyMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("allarm: unknown policy %q (have %v)", s, RegisteredPolicies())
+	}
+	return p, nil
+}
+
+// RegisteredPolicies returns the registered policy names, sorted.
+func RegisteredPolicies() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	names := make([]string, 0, len(policyRegistry))
+	for n := range policyRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Miss describes one demand request that missed the probe filter, for a
+// DirectoryPolicy's decision.
+type Miss struct {
+	// Addr is the line-aligned physical address.
+	Addr uint64
+	// Requester and Home are the requesting and home node ids.
+	Requester, Home int
+	// Local reports whether the requester is in the home's affinity
+	// domain (Requester == Home).
+	Local bool
+	// Write reports whether the request wants ownership (a store miss).
+	Write bool
+}
+
+// MissAction is a DirectoryPolicy's decision for one miss.
+type MissAction uint8
+
+const (
+	// Track installs a probe-filter entry for the line — the
+	// conventional behaviour, always legal.
+	Track MissAction = iota
+	// GrantUntracked serves the miss from DRAM with no entry; the
+	// requester caches the line untracked. Only legal for local misses:
+	// untracked copies are discoverable solely by the home directory's
+	// probe of its own core, so granting one to a remote node would
+	// break coherence (the simulator panics).
+	GrantUntracked
+	// GrantUncached serves the miss with no entry and no fill: the
+	// requester consumes the data without caching the line, so no state
+	// survives anywhere and the next access to the line misses again.
+	// Only legal for read misses (the simulator panics on writes).
+	// Deferred-allocation schemes use it to make a line prove its
+	// sharing before spending an entry on it.
+	GrantUncached
+)
+
+// PolicyContext describes the directory controller a policy instance
+// will serve. One instance is built per directory, so policies may keep
+// per-directory state without synchronisation.
+type PolicyContext struct {
+	// Node is the directory's node id; Nodes the machine's node count.
+	Node, Nodes int
+	// InRange reports whether the configuration's ALLARMRanges enable an
+	// address (always true when no ranges are configured). Policies that
+	// honour the paper's boot-time range registers gate their non-Track
+	// decisions on it.
+	InRange func(addr uint64) bool
+}
+
+// DirectoryPolicy decides how one directory handles probe-filter misses.
+// Implementations must be deterministic functions of their own state and
+// the miss sequence (no wall-clock, no global mutable state): the
+// simulator's reproducibility contract extends to policies. OnMiss is
+// consulted exactly once per missing transaction, so stateful schemes
+// are not skewed by internal retries.
+type DirectoryPolicy interface {
+	// OnMiss picks the action for a miss (see MissAction for legality
+	// rules).
+	OnMiss(m Miss) MissAction
+	// ProbeLocalOnRemoteMiss reports whether a remote miss to addr must
+	// query the home's own core for an untracked copy, in parallel with
+	// the DRAM access. Any policy that may ever return GrantUntracked
+	// for addr must return true here, or those copies become
+	// undiscoverable.
+	ProbeLocalOnRemoteMiss(addr uint64) bool
+}
+
+// PolicyFactory builds one directory's policy instance.
+type PolicyFactory func(ctx PolicyContext) DirectoryPolicy
+
+// policyEntry is one registry slot. Built-ins install native (internal)
+// implementations so the compatibility contract — registry-dispatched
+// "baseline" and "allarm" are bit-identical to the pre-registry enum —
+// holds by construction; user registrations go through the public
+// DirectoryPolicy interface.
+type policyEntry struct {
+	public PolicyFactory
+	native func(node mem.NodeID, ranges *core.RangeSet) core.AllocPolicy
+}
+
+var (
+	policyMu       sync.RWMutex
+	policyRegistry = map[string]policyEntry{}
+)
+
+func init() {
+	policyRegistry[string(Baseline)] = policyEntry{
+		native: func(mem.NodeID, *core.RangeSet) core.AllocPolicy { return core.BaselineAlloc{} },
+	}
+	policyRegistry[string(ALLARM)] = policyEntry{
+		native: func(_ mem.NodeID, r *core.RangeSet) core.AllocPolicy { return &core.ALLARMAlloc{Ranges: r} },
+	}
+	// The bundled extensibility proof goes through the public interface,
+	// exactly like a user scheme would.
+	policyRegistry[string(ALLARMHyst)] = policyEntry{public: newHystPolicy}
+}
+
+// RegisterPolicy adds a named allocation policy to the registry, making
+// it usable everywhere a Policy goes: Config.Policy, CrossPolicies,
+// ParsePolicy and the CLI tools' -policy flags. Registration is typically
+// done from an init function; re-registering a name (including the
+// built-ins) errors.
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	if name == "" {
+		return fmt.Errorf("allarm: policy name must be non-empty")
+	}
+	if factory == nil {
+		return fmt.Errorf("allarm: policy %q needs a factory", name)
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, exists := policyRegistry[name]; exists {
+		return fmt.Errorf("allarm: policy %q already registered", name)
+	}
+	policyRegistry[name] = policyEntry{public: factory}
+	return nil
+}
+
+// MustRegisterPolicy is RegisterPolicy for init-time registration; it
+// panics on error.
+func MustRegisterPolicy(name string, factory PolicyFactory) {
+	if err := RegisterPolicy(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// allocFactory resolves the policy name and lowers it to the internal
+// per-directory factory the machine builder consumes.
+func (c Config) allocFactory(ranges *core.RangeSet) (func(node mem.NodeID) core.AllocPolicy, error) {
+	name := c.Policy.String()
+	policyMu.RLock()
+	e, ok := policyRegistry[name]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("allarm: unknown policy %q (have %v)", name, RegisteredPolicies())
+	}
+	if e.native != nil {
+		return func(node mem.NodeID) core.AllocPolicy { return e.native(node, ranges) }, nil
+	}
+	inRange := func(addr uint64) bool { return ranges.Enabled(mem.PAddr(addr)) }
+	nodes := c.Nodes
+	return func(node mem.NodeID) core.AllocPolicy {
+		return allocAdapter{
+			name: name,
+			p:    e.public(PolicyContext{Node: int(node), Nodes: nodes, InRange: inRange}),
+		}
+	}, nil
+}
+
+// allocAdapter lowers a public DirectoryPolicy to the internal
+// core.AllocPolicy interface. Conversions are exact.
+type allocAdapter struct {
+	name string
+	p    DirectoryPolicy
+}
+
+// Name implements core.AllocPolicy.
+func (a allocAdapter) Name() string { return a.name }
+
+// OnMiss implements core.AllocPolicy.
+func (a allocAdapter) OnMiss(m core.MissInfo) core.MissAction {
+	switch a.p.OnMiss(Miss{
+		Addr:      uint64(m.Addr),
+		Requester: int(m.Requester),
+		Home:      int(m.Home),
+		Local:     m.Local,
+		Write:     m.Write,
+	}) {
+	case GrantUntracked:
+		return core.GrantUntracked
+	case GrantUncached:
+		return core.GrantUncached
+	default:
+		return core.Track
+	}
+}
+
+// ProbeLocalOnRemoteMiss implements core.AllocPolicy.
+func (a allocAdapter) ProbeLocalOnRemoteMiss(addr mem.PAddr) bool {
+	return a.p.ProbeLocalOnRemoteMiss(uint64(addr))
+}
+
+// RegionBytes is the granularity at which ALLARMHyst observes sharing:
+// one OS page, the same granule first-touch placement works at.
+const RegionBytes = mem.PageBytes
+
+// hystPolicy implements the allarm-hyst scheme via the public API (it is
+// deliberately not special-cased internally — it exercises exactly the
+// surface user policies get). Local misses are served untracked like
+// ALLARM. A remote read miss to a region no remote reader has touched
+// before is served uncached — no entry, no copy — and only from the
+// region's second remote read miss onward (or any remote write) are
+// entries allocated. Regions outside the configured ranges behave like
+// the baseline.
+type hystPolicy struct {
+	inRange func(addr uint64) bool
+	seen    map[uint64]bool // regions that have seen a remote read miss
+}
+
+func newHystPolicy(ctx PolicyContext) DirectoryPolicy {
+	return &hystPolicy{inRange: ctx.InRange, seen: make(map[uint64]bool)}
+}
+
+// OnMiss implements DirectoryPolicy.
+func (p *hystPolicy) OnMiss(m Miss) MissAction {
+	if p.inRange != nil && !p.inRange(m.Addr) {
+		return Track
+	}
+	if m.Local {
+		return GrantUntracked
+	}
+	if m.Write {
+		return Track
+	}
+	region := m.Addr &^ uint64(RegionBytes-1)
+	if p.seen[region] {
+		return Track
+	}
+	p.seen[region] = true
+	return GrantUncached
+}
+
+// ProbeLocalOnRemoteMiss implements DirectoryPolicy.
+func (p *hystPolicy) ProbeLocalOnRemoteMiss(addr uint64) bool {
+	return p.inRange == nil || p.inRange(addr)
+}

@@ -43,6 +43,9 @@ type Result struct {
 	LocalProbes, ProbesHidden uint64
 	// UntrackedGrants counts ALLARM's allocation-free local fills.
 	UntrackedGrants uint64
+	// UncachedGrants counts no-fill grants by deferred-allocation
+	// policies (e.g. ALLARMHyst's first remote read per region).
+	UncachedGrants uint64
 
 	// NoCEnergyPJ and PFEnergyPJ are modelled dynamic energies
 	// (Figure 3f); DRAMEnergyPJ is reported for completeness.
@@ -91,6 +94,7 @@ func newResult(bench string, pol Policy, rr *system.RunResult) *Result {
 		LocalProbes:     t.LocalProbes,
 		ProbesHidden:    t.ProbesHidden,
 		UntrackedGrants: t.UntrackedGrants,
+		UncachedGrants:  t.UncachedGrants,
 		NoCEnergyPJ:     rr.Energy.NoC,
 		PFEnergyPJ:      rr.Energy.PF,
 		DRAMEnergyPJ:    rr.Energy.DRAM,

@@ -25,12 +25,36 @@ func MultiProcessBenchmarks() []string {
 	return out
 }
 
-// Run simulates one benchmark under cfg and returns its metrics.
-func Run(cfg Config, benchmark string) (*Result, error) {
+// Run simulates one workload on the machine cfg describes and returns
+// its metrics. The workload supplies its own thread count (at most
+// cfg.Nodes — the modelled cores are in-order with one outstanding
+// access) and access streams; cfg.Threads and cfg.AccessesPerThread only
+// scale the benchmark presets and are ignored here. Thread i is pinned
+// to node i mod cfg.Nodes and pages are pre-placed per the workload's
+// ForEachPage declaration.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	if wl == nil {
+		return nil, fmt.Errorf("allarm: Run needs a workload (see BenchmarkWorkload, LoadTrace, NewWorkload)")
+	}
+	if err := cfg.validateMachine(); err != nil {
+		return nil, err
+	}
+	if n := wl.Threads(); n <= 0 || n > cfg.Nodes {
+		return nil, fmt.Errorf("allarm: workload %q has %d threads; the machine supports [1,%d]",
+			wl.Name(), n, cfg.Nodes)
+	}
+	return runWorkload(cfg, wl)
+}
+
+// RunBenchmark simulates one named benchmark preset under cfg (scaled by
+// cfg.Threads and cfg.AccessesPerThread) and returns its metrics. It is
+// the compatibility shim over Run: output is byte-identical to the
+// pre-Workload-API Run(cfg, benchmark).
+func RunBenchmark(cfg Config, benchmark string) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	wl, err := workload.Benchmark(benchmark, cfg.Threads, cfg.AccessesPerThread)
+	wl, err := BenchmarkWorkload(benchmark, cfg.Threads, cfg.AccessesPerThread)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +63,7 @@ func Run(cfg Config, benchmark string) (*Result, error) {
 
 // runWorkload builds a machine, places the workload's pages, pins thread
 // i to node i mod Nodes, and runs to completion.
-func runWorkload(cfg Config, wl *workload.Synthetic) (*Result, error) {
+func runWorkload(cfg Config, wl Workload) (*Result, error) {
 	sysCfg, err := cfg.systemConfig()
 	if err != nil {
 		return nil, err
@@ -50,17 +74,22 @@ func runWorkload(cfg Config, wl *workload.Synthetic) (*Result, error) {
 	}
 	space := m.NewAddressSpace(cfg.memPolicy())
 	nodeOf := func(t int) mem.NodeID { return mem.NodeID(t % cfg.Nodes) }
-	system.Preplace(space, wl, nodeOf)
+	wl.ForEachPage(func(page uint64, thread int) {
+		space.Translate(mem.VAddr(page), nodeOf(thread))
+	})
 
 	threads := make([]system.ThreadSpec, 0, wl.Threads())
 	for t := 0; t < wl.Threads(); t++ {
-		threads = append(threads, system.ThreadSpec{
+		spec := system.ThreadSpec{
 			Node:   nodeOf(t),
-			Stream: wl.Stream(t, cfg.Seed),
-			Warmup: wl.WarmupStream(t, cfg.Seed),
+			Stream: intStream{s: wl.Stream(t, cfg.Seed)},
 			Space:  space,
 			Name:   fmt.Sprintf("%s/t%d", wl.Name(), t),
-		})
+		}
+		if ws := wl.WarmupStream(t, cfg.Seed); ws != nil {
+			spec.Warmup = intStream{s: ws}
+		}
+		threads = append(threads, spec)
 	}
 	rr, err := m.Run(threads)
 	if err != nil {

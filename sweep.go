@@ -8,36 +8,71 @@ import (
 	"sync/atomic"
 )
 
-// Job is one simulation to run: a benchmark under a configuration,
+// Job is one simulation to run: a workload under a configuration,
 // optionally in the paper's multi-process mode. Jobs are plain values —
-// build them directly or derive grids with the Sweep combinators.
+// build them directly or derive grids with the Sweep combinators. The
+// workload is either a benchmark preset named by Benchmark or any
+// first-class Workload (a trace replay, a programmatic generator, ...)
+// carried in Workload; when both are set, Workload wins.
 type Job struct {
-	// Benchmark names the workload (see Benchmarks and
-	// MultiProcessBenchmarks).
+	// Benchmark names a workload preset (see Benchmarks and
+	// MultiProcessBenchmarks); ignored when Workload is non-nil.
 	Benchmark string
-	// Config is the machine and workload scale for this job.
+	// Workload, when non-nil, is the first-class workload this job runs
+	// through Run. Sweeps can mix preset and Workload jobs freely.
+	Workload Workload
+	// Config is the machine (and, for presets, workload scale) for this
+	// job.
 	Config Config
 	// MultiProcess, when non-nil, runs the job through RunMultiProcess
-	// (Figure 4 mode) instead of Run.
+	// (Figure 4 mode) instead; it applies to benchmark presets only.
 	MultiProcess *MultiProcessConfig
 }
 
 // Run executes the job and returns its metrics.
 func (j Job) Run() (*Result, error) {
+	if j.Workload != nil {
+		return Run(j.Config, j.Workload)
+	}
 	if j.MultiProcess != nil {
 		return RunMultiProcess(j.Config, *j.MultiProcess, j.Benchmark)
 	}
-	return Run(j.Config, j.Benchmark)
+	return RunBenchmark(j.Config, j.Benchmark)
+}
+
+// WorkloadName returns the name identifying the job's workload: the
+// Workload's Name when one is set, the Benchmark name otherwise.
+func (j Job) WorkloadName() string {
+	if j.Workload != nil {
+		return j.Workload.Name()
+	}
+	return j.Benchmark
+}
+
+// workloadKey fingerprints the job's workload for Dedup: benchmark
+// presets by name, Workloads by their Key (see Keyer) or, failing that,
+// by name and thread count.
+func (j Job) workloadKey() string {
+	if j.Workload == nil {
+		return "bench:" + j.Benchmark
+	}
+	if k, ok := j.Workload.(Keyer); ok {
+		return "wl:" + k.Key()
+	}
+	return fmt.Sprintf("wl:%s#%d", j.Workload.Name(), j.Workload.Threads())
 }
 
 // key returns a fingerprint identifying the simulation the job performs,
 // used by Dedup. Two jobs with the same key produce identical Results.
 func (j Job) key() string {
+	// MultiProcess is inert when a first-class Workload is set (Job.Run
+	// checks Workload first), so it must not split the fingerprint.
 	mp := MultiProcessConfig{}
-	if j.MultiProcess != nil {
+	mpActive := j.Workload == nil && j.MultiProcess != nil
+	if mpActive {
 		mp = *j.MultiProcess
 	}
-	return fmt.Sprintf("%s|%t|%+v|%+v", j.Benchmark, j.MultiProcess != nil, mp, j.Config)
+	return fmt.Sprintf("%s|%t|%+v|%+v", j.workloadKey(), mpActive, mp, j.Config)
 }
 
 // Sweep is an ordered list of jobs — the declarative spec of an
@@ -88,9 +123,18 @@ func (s *Sweep) cross(n int, set func(*Job, int)) *Sweep {
 	return s
 }
 
-// CrossBenchmarks expands every job into one copy per benchmark name.
+// CrossBenchmarks expands every job into one copy per benchmark name
+// (clearing any first-class Workload, which would otherwise win).
 func (s *Sweep) CrossBenchmarks(names ...string) *Sweep {
-	return s.cross(len(names), func(j *Job, i int) { j.Benchmark = names[i] })
+	return s.cross(len(names), func(j *Job, i int) { j.Benchmark, j.Workload = names[i], nil })
+}
+
+// CrossWorkloads expands every job into one copy per first-class
+// workload. Combine with CrossPolicies (and friends) to sweep custom
+// workloads — trace replays, programmatic generators — over the same
+// grids the presets use.
+func (s *Sweep) CrossWorkloads(wls ...Workload) *Sweep {
+	return s.cross(len(wls), func(j *Job, i int) { j.Workload, j.Benchmark = wls[i], "" })
 }
 
 // CrossPolicies expands every job into one copy per directory policy.

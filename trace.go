@@ -1,0 +1,125 @@
+package allarm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"allarm/internal/mem"
+	"allarm/internal/trace"
+	"allarm/internal/workload"
+)
+
+// CaptureTrace writes a complete replayable trace of wl to w: its page
+// placements, its warmup pass and its measured access streams, captured
+// at the given seed. A workload loaded back with ReadTrace and run under
+// the same Config (and any policy) produces results bit-identical to
+// running wl directly — placement, warmup, access order and
+// picosecond-exact think times all survive the round trip.
+func CaptureTrace(w io.Writer, wl Workload, seed uint64) error {
+	if wl == nil {
+		return fmt.Errorf("allarm: CaptureTrace needs a workload")
+	}
+	_, err := trace.Capture(w, captureAdapter{wl: wl, seed: seed}, seed)
+	return err
+}
+
+// captureAdapter presents a public Workload to the internal trace
+// capturer (which consumes the internal workload interfaces).
+type captureAdapter struct {
+	wl   Workload
+	seed uint64
+}
+
+func (a captureAdapter) Name() string { return a.wl.Name() }
+func (a captureAdapter) Threads() int { return a.wl.Threads() }
+
+func (a captureAdapter) Stream(t int, seed uint64) workload.Stream {
+	return intStream{s: a.wl.Stream(t, seed)}
+}
+
+// WarmupStream implements workload.WarmupStreamer.
+func (a captureAdapter) WarmupStream(t int, seed uint64) workload.Stream {
+	ws := a.wl.WarmupStream(t, seed)
+	if ws == nil {
+		return nil
+	}
+	return intStream{s: ws}
+}
+
+// ForEachPage implements workload.Preplacer.
+func (a captureAdapter) ForEachPage(fn func(page mem.VAddr, thread int)) {
+	a.wl.ForEachPage(func(page uint64, thread int) { fn(mem.VAddr(page), thread) })
+}
+
+// LoadTrace reads a trace file captured with CaptureTrace (or the
+// allarm-trace tool) into a replayable Workload named after the file.
+// Replays ignore the run seed: the captured streams are exact.
+func LoadTrace(path string) (Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("allarm: %w", err)
+	}
+	defer f.Close()
+	wl, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("allarm: trace %s: %w", path, err)
+	}
+	name := filepath.Base(path)
+	wl.(*traceWorkload).name = name
+	return wl, nil
+}
+
+// ReadTrace reads a trace stream into a replayable Workload (named
+// "trace"; LoadTrace names it after its file).
+func ReadTrace(r io.Reader) (Workload, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := trace.LoadReplay(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &traceWorkload{name: "trace", rp: rp}, nil
+}
+
+// traceWorkload adapts an internal trace replay to the public Workload
+// interface.
+type traceWorkload struct {
+	name string
+	rp   *trace.Replay
+}
+
+// Name implements Workload.
+func (t *traceWorkload) Name() string { return t.name }
+
+// Threads implements Workload.
+func (t *traceWorkload) Threads() int { return t.rp.Threads() }
+
+// Stream implements Workload; the seed is ignored (replays are exact).
+func (t *traceWorkload) Stream(thread int, seed uint64) Stream {
+	return pubStream{s: t.rp.Stream(thread, seed)}
+}
+
+// WarmupStream implements Workload.
+func (t *traceWorkload) WarmupStream(thread int, seed uint64) Stream {
+	ws := t.rp.WarmupStream(thread, seed)
+	if ws == nil {
+		return nil
+	}
+	return pubStream{s: ws}
+}
+
+// ForEachPage implements Workload from the trace's placement section.
+func (t *traceWorkload) ForEachPage(fn func(page uint64, thread int)) {
+	t.rp.ForEachPage(func(page mem.VAddr, thread int) { fn(uint64(page), thread) })
+}
+
+// Key implements Keyer: a trace is fingerprinted by name, thread count
+// and record counts. Rename distinct traces (or load them from distinct
+// paths) before mixing them in one deduplicated sweep.
+func (t *traceWorkload) Key() string {
+	return fmt.Sprintf("trace:%s#%d/%d+%d", t.name, t.rp.Threads(), t.rp.Records(), t.rp.WarmupRecords())
+}
