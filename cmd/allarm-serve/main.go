@@ -1,0 +1,116 @@
+// Command allarm-serve runs the simulation-as-a-service daemon: a REST
+// API over the sweep engine with a job queue, a bounded worker pool and
+// a content-addressed result cache, so identical simulations are run
+// once and served to every client.
+//
+// Usage:
+//
+//	allarm-serve                          # listen on :8347
+//	allarm-serve -addr 127.0.0.1:0        # ephemeral port (printed)
+//	allarm-serve -parallel 4 -cache 4096
+//	allarm-serve -checkpoint /var/lib/allarm -grace 60s
+//
+// Endpoints:
+//
+//	POST /v1/sweeps               submit a sweep (benchmarks/workloads ×
+//	                              policies × pf_kib); returns its id
+//	GET  /v1/sweeps               list sweeps
+//	GET  /v1/sweeps/{id}          status and per-job progress
+//	GET  /v1/sweeps/{id}/results  results; ?format= or Accept negotiates
+//	                              json, ndjson, csv or table
+//	GET  /v1/sweeps/{id}/events   live progress (Server-Sent Events)
+//	POST /v1/traces               upload a captured trace; jobs reference
+//	                              it as "trace:<id>"
+//	GET  /v1/policies             registered directory policies
+//	GET  /v1/benchmarks           benchmark presets
+//	GET  /healthz                 liveness (reports draining)
+//	GET  /metrics                 counters: jobs run, cache hits/misses,
+//	                              coalesced flights, events/sec
+//
+// On SIGINT/SIGTERM the daemon drains: submissions are refused,
+// in-flight sweeps get -grace to finish, and whatever is still running
+// is cancelled with its partial results checkpointed (fetchable until
+// exit and, with -checkpoint, written as <sweep-id>.ndjson).
+//
+// See the Serving section of README.md for a curl quickstart and the
+// cache semantics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"allarm/internal/server"
+)
+
+// main only translates run's status into an exit code so run's defers
+// execute on every path, including signal-driven shutdown.
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address (host:port; port 0 picks one)")
+		parallel   = flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+		cacheSize  = flag.Int("cache", server.DefaultCacheEntries, "result cache capacity in entries")
+		checkpoint = flag.String("checkpoint", "", "directory for drain-time partial-result checkpoints")
+		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight sweeps are cancelled")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Options{
+		Workers:       *parallel,
+		CacheEntries:  *cacheSize,
+		CheckpointDir: *checkpoint,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "allarm-serve: "+format+"\n", args...)
+		},
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+		return 1
+	}
+	// The resolved address goes to stdout so scripts starting the daemon
+	// on an ephemeral port (-addr :0) can discover where it listens.
+	fmt.Printf("allarm-serve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of re-draining
+
+	fmt.Fprintf(os.Stderr, "allarm-serve: signal received; draining (grace %s)\n", *grace)
+	dctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	srv.Drain(dctx)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "allarm-serve: drained; bye")
+	return 0
+}

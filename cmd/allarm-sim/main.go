@@ -15,7 +15,9 @@
 // allarm-trace -gen). -policy accepts any registered directory policy.
 // Every invocation is a (possibly one-job) sweep: -pair fans baseline
 // and -policy out over -parallel workers, and -json/-csv swap the human
-// summary for the raw per-run records.
+// summary for the raw per-run records. Ctrl-C cancels the sweep
+// promptly; finished runs are still emitted, with the rest marked
+// cancelled.
 package main
 
 import (
@@ -23,12 +25,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	allarm "allarm"
 )
 
+// mainContext is cancelled on Ctrl-C so an in-flight sweep stops
+// promptly (finished runs are still emitted, with the rest marked
+// cancelled).
+func mainContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt)
+	return ctx
+}
+
+// main only translates run's status into an exit code: os.Exit skips
+// deferred functions, and funnelling every exit path through run keeps
+// them (and any future profiling hooks) working under errors and
+// interrupts, matching allarm-bench.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		bench     = flag.String("bench", "ocean-cont", "benchmark name")
 		wlFlag    = flag.String("workload", "", "workload spec: bench:NAME or trace:FILE (overrides -bench)")
@@ -53,11 +72,11 @@ func main() {
 		fmt.Println("  " + strings.Join(allarm.Benchmarks(), "\n  "))
 		fmt.Println("policies:")
 		fmt.Println("  " + strings.Join(allarm.RegisteredPolicies(), "\n  "))
-		return
+		return 0
 	}
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(os.Stderr, "allarm-sim: -json and -csv are mutually exclusive")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := allarm.ExperimentConfig()
@@ -79,7 +98,7 @@ func main() {
 	pol, err := allarm.ParsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	job := allarm.Job{Benchmark: *bench, Config: cfg}
@@ -88,19 +107,19 @@ func main() {
 		wl, err := allarm.LoadTrace(strings.TrimPrefix(*wlFlag, "trace:"))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "allarm-sim:", err)
-			os.Exit(1)
+			return 1
 		}
 		job.Workload = wl
 	case strings.HasPrefix(*wlFlag, "bench:"):
 		job.Benchmark = strings.TrimPrefix(*wlFlag, "bench:")
 	case *wlFlag != "":
 		fmt.Fprintf(os.Stderr, "allarm-sim: -workload wants bench:NAME or trace:FILE, got %q\n", *wlFlag)
-		os.Exit(2)
+		return 2
 	}
 	if *multi > 0 {
 		if job.Workload != nil {
 			fmt.Fprintln(os.Stderr, "allarm-sim: -multi applies to benchmark presets only")
-			os.Exit(2)
+			return 2
 		}
 		mp := allarm.DefaultMultiProcess()
 		mp.Copies = *multi
@@ -120,15 +139,16 @@ func main() {
 	}
 
 	runner := &allarm.Runner{Parallelism: *parallel}
-	results, err := runner.Run(context.Background(), sweep)
-	if err == nil {
-		err = allarm.FirstError(results)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
-		os.Exit(1)
+	results, runErr := runner.Run(mainContext(), sweep)
+	if runErr == nil {
+		runErr = allarm.FirstError(results)
 	}
 
+	// Emit before acting on runErr: on interrupt (or one job failing)
+	// the finished runs are still rendered — raw rows carry per-job
+	// errors, the human summary prints what completed — and the exit
+	// status reports the failure.
+	err = nil
 	switch {
 	case *jsonOut:
 		err = allarm.JSONEmitter{Indent: true}.Emit(os.Stdout, results)
@@ -136,9 +156,11 @@ func main() {
 		err = allarm.CSVEmitter{}.Emit(os.Stdout, results)
 	default:
 		for _, r := range results {
-			print1(r.Result)
+			if r.Result != nil {
+				print1(r.Result)
+			}
 		}
-		if *pair {
+		if *pair && runErr == nil {
 			c := allarm.Compare(results[0].Result, results[1].Result)
 			fmt.Printf("speedup            %8.3fx\n", c.Speedup)
 			fmt.Printf("evictions ratio    %8.3f\n", c.EvictionRatio)
@@ -148,10 +170,14 @@ func main() {
 			fmt.Printf("PF energy ratio    %8.3f\n", c.PFEnergyRatio)
 		}
 	}
+	if err == nil {
+		err = runErr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func print1(r *allarm.Result) {

@@ -77,4 +77,21 @@
 // regenerate any figure with a different optimised policy standing in
 // for ALLARM. See README.md for a quickstart and cmd/allarm-bench for
 // the figure-regeneration CLI.
+//
+// # Serving
+//
+// cmd/allarm-serve runs the sweep engine as a long-lived service
+// (internal/server): sweeps are submitted over REST, fan out on a
+// bounded worker pool, and results land in a content-addressed cache
+// keyed by Job.Key — the stable fingerprint that also drives
+// Sweep.Dedup — so each distinct simulation runs at most once and
+// identical in-flight submissions are coalesced onto a single
+// execution. Per-job progress streams as Server-Sent Events
+// (Runner.Start and Runner.JobDone are the underlying hooks, and
+// Runner.Exec is the seam the cache plugs into), results are rendered
+// by the same emitters the CLI uses (byte-identical to a local
+// RunSweep; NDJSONEmitter is the streaming-friendly variant), traces
+// upload via POST /v1/traces (ReadTraceNamed), and DescribePolicies /
+// DescribeBenchmarks back the discovery endpoints. See the Serving
+// section of README.md for a curl quickstart and the cache semantics.
 package allarm

@@ -208,3 +208,22 @@ func (e JSONEmitter) Emit(w io.Writer, results []SweepResult) error {
 	}
 	return enc.Encode(recs)
 }
+
+// NDJSONEmitter renders sweep results as newline-delimited JSON: one
+// sweepRecord object per line, with exactly the keys JSONEmitter uses.
+// Because every line is independently parseable, the format streams —
+// allarm-serve emits it for results endpoints where consumers want rows
+// as they read, and `jq` or a log pipeline can process output without
+// buffering the whole array.
+type NDJSONEmitter struct{}
+
+// Emit implements Emitter.
+func (NDJSONEmitter) Emit(w io.Writer, results []SweepResult) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		if err := enc.Encode(record(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -96,6 +96,32 @@ func TestJSONEmitterGolden(t *testing.T) {
 	}
 }
 
+func TestNDJSONEmitterGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := (allarm.NDJSONEmitter{}).Emit(&sb, fabricatedResults()); err != nil {
+		t.Fatal(err)
+	}
+	// One self-contained JSON object per line, keys exactly as
+	// JSONEmitter writes them (failed jobs omit the metric keys; the
+	// legitimately zero pf_evictions survives).
+	want := strings.Join([]string{
+		`{"benchmark":"barnes","policy":"allarm","threads":16,"pf_kib":128,"seed":1,"runtime_ns":1234.5,"accesses":32000,"pf_allocs":100,"pf_evictions":0,"eviction_msgs":40,"l2_misses":500,"noc_bytes":65536,"noc_msgs":900,"local_reqs":700,"remote_reqs":300,"local_probes":50,"probes_hidden":45,"untracked_grants":600,"uncached_grants":0,"noc_energy_pj":1000.4,"pf_energy_pj":200.8}`,
+		`{"benchmark":"no-such","policy":"baseline","threads":16,"pf_kib":128,"seed":1,"error":"allarm: unknown benchmark \"no-such\""}`,
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Fatalf("NDJSON output:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	// Every line must be independently parseable (the streaming
+	// property the format exists for).
+	for i, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not standalone JSON: %v\n%s", i, err, line)
+		}
+	}
+}
+
 func TestJSONEmitterIndent(t *testing.T) {
 	var sb strings.Builder
 	if err := (allarm.JSONEmitter{Indent: true}).Emit(&sb, fabricatedResults()); err != nil {

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	allarm "allarm"
+)
+
+// resultCache is a bounded LRU of simulation results, content-addressed
+// by Job.Key. Simulations are deterministic, so a cached *Result is
+// exactly what re-running the job would produce; entries are shared
+// read-only with every response that hits them.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	res *allarm.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *resultCache) Get(key string) (*allarm.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// Add inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) Add(key string, res *allarm.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flight is one in-progress simulation other requests for the same key
+// wait on instead of re-running it.
+type flight struct {
+	done chan struct{} // closed when res/err are final
+	res  *allarm.Result
+	err  error
+}
+
+// flightGroup coalesces concurrent executions per job key (a minimal
+// singleflight; no external deps). The leader of a key runs the
+// simulation; followers block on the flight and share its outcome.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the flight for key and whether the caller leads it (the
+// leader must eventually call finish).
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if fl, ok := g.m[key]; ok {
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's outcome and releases the key so a later
+// identical job (on a cache miss, e.g. after LRU eviction or an error)
+// starts a fresh flight.
+func (g *flightGroup) finish(key string, fl *flight, res *allarm.Result, err error) {
+	fl.res, fl.err = res, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+}

@@ -1,0 +1,42 @@
+package server
+
+import "sync/atomic"
+
+// metrics are the daemon's monotonic counters, exported as the flat
+// expvar-style JSON object GET /metrics returns. Everything is atomic:
+// counters are bumped from worker goroutines and read from handlers.
+type metrics struct {
+	sweepsSubmitted    atomic.Uint64
+	sweepsCompleted    atomic.Uint64
+	sweepsCheckpointed atomic.Uint64
+	jobsRun            atomic.Uint64
+	jobErrors          atomic.Uint64
+	cacheHits          atomic.Uint64
+	cacheMisses        atomic.Uint64
+	coalesced          atomic.Uint64
+	tracesUploaded     atomic.Uint64
+	simEvents          atomic.Uint64
+	simWallNs          atomic.Uint64
+}
+
+// Metrics is the GET /metrics payload. Hit/miss/coalesced make cache
+// effectiveness — including the "identical concurrent submissions run
+// once" guarantee — observable from the outside.
+type Metrics struct {
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Draining           bool    `json:"draining"`
+	SweepsSubmitted    uint64  `json:"sweeps_submitted"`
+	SweepsActive       uint64  `json:"sweeps_active"`
+	SweepsCompleted    uint64  `json:"sweeps_completed"`
+	SweepsCheckpointed uint64  `json:"sweeps_checkpointed"`
+	JobsRun            uint64  `json:"jobs_run"`
+	JobErrors          uint64  `json:"job_errors"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	InflightCoalesced  uint64  `json:"inflight_coalesced"`
+	CacheEntries       int     `json:"cache_entries"`
+	CacheCapacity      int     `json:"cache_capacity"`
+	TracesUploaded     uint64  `json:"traces_uploaded"`
+	SimEventsTotal     uint64  `json:"sim_events_total"`
+	SimEventsPerSec    float64 `json:"sim_events_per_sec"`
+}

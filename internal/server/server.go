@@ -1,0 +1,701 @@
+// Package server is the simulation-as-a-service daemon behind
+// cmd/allarm-serve: a REST front end over the allarm Sweep API with a
+// job store, a bounded simulation worker pool, and a content-addressed
+// result cache.
+//
+// The cache is keyed on Job.Key — the same fingerprint Sweep.Dedup uses
+// — so every distinct simulation runs at most once for the daemon's
+// lifetime (LRU-bounded): identical jobs in later sweeps are served
+// from cache, and identical jobs in-flight at the same time are
+// coalesced onto one execution (singleflight). Results are exactly what
+// the library produces; the emitters rendering them are the ones the
+// CLI tools use, so served output is byte-identical to a local run.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	allarm "allarm"
+)
+
+// Default sizing knobs.
+const (
+	// DefaultCacheEntries bounds the result cache when Options doesn't.
+	DefaultCacheEntries = 1024
+	// maxSubmitBytes bounds a POST /v1/sweeps body.
+	maxSubmitBytes = 1 << 20
+	// maxTraceBytes bounds a POST /v1/traces body.
+	maxTraceBytes = 64 << 20
+	// maxTraces bounds the uploaded-trace store (each entry pins a
+	// parsed replay in memory); the least recently uploaded is evicted.
+	// Sweeps capture their Workload at submit time, so evicting a trace
+	// never breaks an in-flight sweep — only future "trace:ID" specs.
+	maxTraces = 64
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrently running simulations across all sweeps
+	// (<= 0: NumCPU). Request handling is not bounded by it: cache hits
+	// and status reads never wait for a worker.
+	Workers int
+	// CacheEntries bounds the result cache (<= 0: DefaultCacheEntries).
+	CacheEntries int
+	// CheckpointDir, when non-empty, receives one <sweep-id>.ndjson per
+	// sweep still in flight when Drain cancels it.
+	CheckpointDir string
+	// RunJob executes one simulation; nil means Job.Run. Tests inject
+	// gates and counters here.
+	RunJob func(allarm.Job) (*allarm.Result, error)
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon state: sweeps, uploaded traces, the result cache
+// and the worker pool. Create with New, serve Handler, stop with Drain.
+type Server struct {
+	opts    Options
+	workers int
+	mux     *http.ServeMux
+	ctx     context.Context
+	cancel  context.CancelFunc
+	sem     chan struct{}
+	cache   *resultCache
+	flights flightGroup
+	met     metrics
+	start   time.Time
+	runJob  func(allarm.Job) (*allarm.Result, error)
+
+	mu       sync.Mutex
+	draining bool
+	sweeps   map[string]*sweepState
+	order    []string
+	traces   map[string]allarm.Workload
+	traceIDs []string // upload order, oldest first (eviction)
+	nextID   uint64
+	active   sync.WaitGroup
+	actives  int // running sweep goroutines (metrics)
+}
+
+// New returns a ready Server.
+func New(opts Options) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	entries := opts.CacheEntries
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		workers: workers,
+		ctx:     ctx,
+		cancel:  cancel,
+		sem:     make(chan struct{}, workers),
+		cache:   newResultCache(entries),
+		start:   time.Now(),
+		runJob:  opts.RunJob,
+		sweeps:  make(map[string]*sweepState),
+		traces:  make(map[string]allarm.Workload),
+	}
+	if s.runJob == nil {
+		s.runJob = allarm.Job.Run
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels everything immediately (tests; production uses Drain).
+func (s *Server) Close() { s.cancel() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Drain shuts the daemon down gracefully: new sweep submissions are
+// refused (503) immediately, then in-flight sweeps get until ctx
+// expires to complete; after that, still-running sweeps are cancelled
+// and checkpointed — their partial results stay fetchable (unreached
+// jobs carry the cancellation error) and, with a CheckpointDir, are
+// written as <sweep-id>.ndjson. Cancellation skips jobs that have not
+// started; a simulation already executing is not interruptible
+// (Job.Run takes no context) and runs to completion before its sweep
+// checkpoints, so total drain time is bounded by the grace period plus
+// one simulation, not by the grace period alone.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.logf("drain grace expired; checkpointing in-flight sweeps")
+		s.cancel()
+		<-done
+	}
+	s.cancel()
+}
+
+// SweepRequest is the POST /v1/sweeps body: seed workloads crossed with
+// policies and probe-filter sizes, exactly like the Sweep combinators.
+type SweepRequest struct {
+	// Benchmarks are preset names; Workloads are "bench:NAME" or
+	// "trace:ID" specs (IDs from POST /v1/traces). Together they seed
+	// the sweep; at least one is required.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Workloads  []string `json:"workloads,omitempty"`
+	// Policies are registered policy names (default: baseline only).
+	Policies []string `json:"policies,omitempty"`
+	// PFKiB are probe-filter coverages to cross (default: the config's).
+	PFKiB []int `json:"pf_kib,omitempty"`
+	// Config overrides the default experiment-scale configuration.
+	Config *ConfigOverrides `json:"config,omitempty"`
+}
+
+// ConfigOverrides are the Config fields the API exposes; zero values
+// keep the server default (ExperimentConfig, the CLI tools' default).
+type ConfigOverrides struct {
+	Threads           int     `json:"threads,omitempty"`
+	AccessesPerThread int     `json:"accesses_per_thread,omitempty"`
+	Seed              *uint64 `json:"seed,omitempty"`
+	// FullScale selects the unscaled Table I SRAM sizes (DefaultConfig).
+	FullScale       bool `json:"full_scale,omitempty"`
+	CheckInvariants bool `json:"check_invariants,omitempty"`
+}
+
+// SubmitResponse is the POST /v1/sweeps reply.
+type SubmitResponse struct {
+	ID      string `json:"id"`
+	Jobs    int    `json:"jobs"`
+	Status  string `json:"status_url"`
+	Results string `json:"results_url"`
+	Events  string `json:"events_url"`
+}
+
+// buildSweep validates the request and expands it into a Sweep.
+func (s *Server) buildSweep(req *SweepRequest) (*allarm.Sweep, error) {
+	cfg := allarm.ExperimentConfig()
+	if o := req.Config; o != nil {
+		if o.FullScale {
+			cfg = allarm.DefaultConfig()
+		}
+		if o.Threads > 0 {
+			cfg.Threads = o.Threads
+		}
+		if o.AccessesPerThread > 0 {
+			cfg.AccessesPerThread = o.AccessesPerThread
+		}
+		if o.Seed != nil {
+			cfg.Seed = *o.Seed
+		}
+		cfg.CheckInvariants = o.CheckInvariants
+	}
+
+	known := make(map[string]bool)
+	for _, b := range allarm.Benchmarks() {
+		known[b] = true
+	}
+	var jobs []allarm.Job
+	for _, b := range req.Benchmarks {
+		if !known[b] {
+			return nil, fmt.Errorf("unknown benchmark %q (see GET /v1/benchmarks)", b)
+		}
+		jobs = append(jobs, allarm.Job{Benchmark: b, Config: cfg})
+	}
+	for _, spec := range req.Workloads {
+		job := allarm.Job{Config: cfg}
+		switch {
+		case strings.HasPrefix(spec, "bench:"):
+			name := strings.TrimPrefix(spec, "bench:")
+			if !known[name] {
+				return nil, fmt.Errorf("unknown benchmark %q (see GET /v1/benchmarks)", name)
+			}
+			job.Benchmark = name
+		case strings.HasPrefix(spec, "trace:"):
+			id := strings.TrimPrefix(spec, "trace:")
+			s.mu.Lock()
+			wl := s.traces[id]
+			s.mu.Unlock()
+			if wl == nil {
+				return nil, fmt.Errorf("unknown trace %q (upload with POST /v1/traces)", id)
+			}
+			job.Workload = wl
+		default:
+			return nil, fmt.Errorf("workload %q: want bench:NAME or trace:ID", spec)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("empty sweep: give at least one benchmark or workload")
+	}
+
+	sweep := allarm.NewSweep(jobs...)
+	if len(req.Policies) > 0 {
+		pols := make([]allarm.Policy, len(req.Policies))
+		for i, name := range req.Policies {
+			p, err := allarm.ParsePolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			pols[i] = p
+		}
+		sweep.CrossPolicies(pols...)
+	}
+	if len(req.PFKiB) > 0 {
+		sizes := make([]int, len(req.PFKiB))
+		for i, kib := range req.PFKiB {
+			if kib <= 0 {
+				return nil, fmt.Errorf("pf_kib must be positive, got %d", kib)
+			}
+			sizes[i] = kib << 10
+		}
+		sweep.CrossPFSizes(sizes...)
+	}
+	return sweep, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	body := http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sweep, err := s.buildSweep(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining: not accepting new sweeps"))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("sw-%06d", s.nextID)
+	st := newSweepState(id, sweep, time.Now())
+	s.sweeps[id] = st
+	s.order = append(s.order, id)
+	s.active.Add(1)
+	s.actives++
+	s.mu.Unlock()
+
+	s.met.sweepsSubmitted.Add(1)
+	s.logf("sweep %s: %d jobs submitted", id, sweep.Len())
+	go s.runSweep(st)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, SubmitResponse{
+		ID: id, Jobs: sweep.Len(),
+		Status:  "/v1/sweeps/" + id,
+		Results: "/v1/sweeps/" + id + "/results",
+		Events:  "/v1/sweeps/" + id + "/events",
+	})
+}
+
+// runSweep drives one sweep through a Runner whose Exec is the cached,
+// coalesced, pool-bounded executor.
+func (s *Server) runSweep(st *sweepState) {
+	defer func() {
+		s.mu.Lock()
+		s.actives--
+		s.mu.Unlock()
+		s.active.Done()
+	}()
+	runner := &allarm.Runner{
+		// Per-sweep fan-out matches the pool width; the pool itself is
+		// enforced globally in exec, so concurrent sweeps share — not
+		// multiply — the simulation workers. Cache hits and coalesced
+		// jobs resolve without occupying a pool slot.
+		Parallelism: s.workers,
+		Start:       func(i, _ int, _ allarm.Job) { st.jobStarted(i) },
+		JobDone:     func(i, _ int, r allarm.SweepResult) { st.jobFinished(i, r) },
+		Exec:        s.exec,
+	}
+	results, runErr := runner.Run(s.ctx, st.sweep)
+	checkpointed := runErr != nil
+	st.finish(results, checkpointed)
+	if checkpointed {
+		s.met.sweepsCheckpointed.Add(1)
+		s.checkpoint(st, results)
+		s.logf("sweep %s: checkpointed with %d/%d jobs done", st.id, st.view().Done, st.total)
+		return
+	}
+	s.met.sweepsCompleted.Add(1)
+	s.logf("sweep %s: done (%d jobs)", st.id, st.total)
+}
+
+// checkpoint writes a cancelled sweep's partial results as NDJSON.
+func (s *Server) checkpoint(st *sweepState, results []allarm.SweepResult) {
+	if s.opts.CheckpointDir == "" {
+		return
+	}
+	path := filepath.Join(s.opts.CheckpointDir, st.id+".ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		s.logf("sweep %s: checkpoint: %v", st.id, err)
+		return
+	}
+	defer f.Close()
+	if err := (allarm.NDJSONEmitter{}).Emit(f, results); err != nil {
+		s.logf("sweep %s: checkpoint: %v", st.id, err)
+		return
+	}
+	s.logf("sweep %s: partial results checkpointed to %s", st.id, path)
+}
+
+// exec runs one job through the cache, the singleflight group and the
+// bounded pool, in that order. It is the Runner.Exec of every sweep, so
+// its outcome for a job must equal Job.Run's — it only ever returns a
+// result the simulator produced for exactly this key.
+func (s *Server) exec(job allarm.Job) (*allarm.Result, error) {
+	key := job.Key()
+	if res, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return res, nil
+	}
+	fl, leader := s.flights.join(key)
+	if !leader {
+		s.met.coalesced.Add(1)
+		select {
+		case <-fl.done:
+			return fl.res, fl.err
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
+		}
+	}
+
+	res, err := s.lead(key, job)
+	s.flights.finish(key, fl, res, err)
+	return res, err
+}
+
+// lead executes a flight's simulation as its leader.
+func (s *Server) lead(key string, job allarm.Job) (*allarm.Result, error) {
+	// Re-check the cache: the flight we would have followed may have
+	// finished between our cache probe and taking leadership.
+	if res, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return res, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.ctx.Done():
+		return nil, s.ctx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	s.met.cacheMisses.Add(1)
+	start := time.Now()
+	res, err := s.runJob(job)
+	s.met.jobsRun.Add(1)
+	if err != nil {
+		s.met.jobErrors.Add(1)
+		return nil, err
+	}
+	s.met.simEvents.Add(res.Events)
+	s.met.simWallNs.Add(uint64(time.Since(start).Nanoseconds()))
+	s.cache.Add(key, res)
+	return res, nil
+}
+
+func (s *Server) lookup(id string) *sweepState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	states := make([]*sweepState, 0, len(s.order))
+	for _, id := range s.order {
+		states = append(states, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	views := make([]SweepView, len(states))
+	for i, st := range states {
+		views[i] = st.view()
+	}
+	writeJSON(w, views)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, st.view())
+}
+
+// handleResults renders a finished sweep through the library emitters,
+// negotiated via ?format= (json, ndjson, csv, table) or the Accept
+// header. The bytes are identical to what the same emitter produces
+// over a local RunSweep of the same jobs.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	results, status, ok := st.snapshot()
+	if !ok {
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is %s; results are available once it is done", st.id, status))
+		return
+	}
+	format, err := negotiateFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		emitter allarm.Emitter
+		ctype   string
+	)
+	switch format {
+	case "csv":
+		emitter, ctype = allarm.CSVEmitter{}, "text/csv; charset=utf-8"
+	case "ndjson":
+		emitter, ctype = allarm.NDJSONEmitter{}, "application/x-ndjson"
+	case "table":
+		emitter, ctype = &allarm.TableEmitter{}, "text/plain; charset=utf-8"
+	default:
+		emitter, ctype = allarm.JSONEmitter{Indent: true}, "application/json"
+	}
+	w.Header().Set("Content-Type", ctype)
+	if err := emitter.Emit(w, results); err != nil {
+		s.logf("sweep %s: emit: %v", st.id, err)
+	}
+}
+
+// negotiateFormat picks the results rendering: an explicit ?format=
+// wins (unknown values are an error, like every other request field),
+// then the Accept header, then JSON.
+func negotiateFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "csv", "ndjson", "table", "json":
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want json, ndjson, csv or table)", f)
+	}
+	accept := r.Header.Get("Accept")
+	for _, want := range []struct{ mime, format string }{
+		{"text/csv", "csv"},
+		{"application/x-ndjson", "ndjson"},
+		{"text/plain", "table"},
+	} {
+		if strings.Contains(accept, want.mime) {
+			return want.format, nil
+		}
+	}
+	return "json", nil
+}
+
+// handleEvents streams a sweep's progress as Server-Sent Events: one
+// "job" event per job start/finish and one "sweep" event per lifecycle
+// transition. New subscribers first replay the full history, so a late
+// subscriber still sees every transition; the stream ends when the
+// sweep is final.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	poke := st.subscribe()
+	defer st.unsubscribe(poke)
+	sent := 0
+	for {
+		evs, final := st.eventsSince(sent)
+		for _, e := range evs {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.Data)
+		}
+		if len(evs) > 0 {
+			sent += len(evs)
+			flusher.Flush()
+		}
+		if final {
+			// Drain any events published between eventsSince and here.
+			if evs, _ := st.eventsSince(sent); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-poke:
+		case <-r.Context().Done():
+			return
+		case <-st.finished:
+		}
+	}
+}
+
+// TraceResponse is the POST /v1/traces reply. Uploads are
+// content-addressed: the id is a hash of the trace bytes, re-uploading
+// identical bytes returns the same id, and jobs reference the trace as
+// "trace:<id>" in SweepRequest.Workloads.
+type TraceResponse struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+}
+
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading trace: %w", err))
+		return
+	}
+	// The full digest is the id: the address is correctness-bearing (a
+	// collision would serve the wrong workload and poison its cache
+	// lineage), so it is not truncated.
+	sum := sha256.Sum256(data)
+	id := "tr-" + hex.EncodeToString(sum[:])
+
+	s.mu.Lock()
+	wl, exists := s.traces[id]
+	s.mu.Unlock()
+	if !exists {
+		// The workload is named by the content hash so Job.Key — and
+		// therefore the result cache — distinguishes distinct traces
+		// and unifies identical ones, whatever they were called locally.
+		wl, err = allarm.ReadTraceNamed(bytes.NewReader(data), id)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing trace: %w", err))
+			return
+		}
+		s.mu.Lock()
+		if cur, ok := s.traces[id]; ok {
+			wl = cur // lost a racing identical upload; keep one instance
+		} else {
+			s.traces[id] = wl
+			s.traceIDs = append(s.traceIDs, id)
+			// Bound the store: each entry pins a parsed replay, so the
+			// oldest upload is dropped beyond maxTraces (in-flight
+			// sweeps hold their own reference and are unaffected).
+			for len(s.traceIDs) > maxTraces {
+				delete(s.traces, s.traceIDs[0])
+				s.traceIDs = s.traceIDs[1:]
+			}
+		}
+		s.mu.Unlock()
+		s.met.tracesUploaded.Add(1)
+		s.logf("trace %s: %d bytes, %d threads", id, len(data), wl.Threads())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, TraceResponse{ID: id, Workload: "trace:" + id, Threads: wl.Threads()})
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, allarm.DescribePolicies())
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, allarm.DescribeBenchmarks())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, actives := s.draining, s.actives
+	s.mu.Unlock()
+	wallNs := s.met.simWallNs.Load()
+	events := s.met.simEvents.Load()
+	perSec := 0.0
+	if wallNs > 0 {
+		perSec = float64(events) / (float64(wallNs) / 1e9)
+	}
+	writeJSON(w, Metrics{
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Draining:           draining,
+		SweepsSubmitted:    s.met.sweepsSubmitted.Load(),
+		SweepsActive:       uint64(actives),
+		SweepsCompleted:    s.met.sweepsCompleted.Load(),
+		SweepsCheckpointed: s.met.sweepsCheckpointed.Load(),
+		JobsRun:            s.met.jobsRun.Load(),
+		JobErrors:          s.met.jobErrors.Load(),
+		CacheHits:          s.met.cacheHits.Load(),
+		CacheMisses:        s.met.cacheMisses.Load(),
+		InflightCoalesced:  s.met.coalesced.Load(),
+		CacheEntries:       s.cache.Len(),
+		CacheCapacity:      s.cache.cap,
+		TracesUploaded:     s.met.tracesUploaded.Load(),
+		SimEventsTotal:     events,
+		SimEventsPerSec:    perSec,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

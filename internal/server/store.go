@@ -1,0 +1,238 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	allarm "allarm"
+)
+
+// Sweep lifecycle states.
+const (
+	// StatusQueued: accepted, no job picked up yet.
+	StatusQueued = "queued"
+	// StatusRunning: at least one job started.
+	StatusRunning = "running"
+	// StatusDone: every job finished; results are final.
+	StatusDone = "done"
+	// StatusCheckpointed: the daemon drained before the sweep finished;
+	// the partial results are final (unreached jobs carry the
+	// cancellation error) and, when a checkpoint directory is
+	// configured, were written to disk.
+	StatusCheckpointed = "checkpointed"
+)
+
+// Per-job states within a sweep.
+const (
+	JobPending = "pending"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobError   = "error"
+)
+
+// JobView is the per-job progress record in sweep status responses.
+type JobView struct {
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	PFKiB     int    `json:"pf_kib"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+}
+
+// SweepView is the GET /v1/sweeps/{id} payload.
+type SweepView struct {
+	ID      string    `json:"id"`
+	Status  string    `json:"status"`
+	Created time.Time `json:"created"`
+	Total   int       `json:"total"`
+	Done    int       `json:"done"`
+	Jobs    []JobView `json:"jobs"`
+}
+
+// event is one SSE frame of a sweep's progress stream: Type becomes the
+// SSE event name, Data its JSON payload.
+type event struct {
+	Type string
+	Data []byte
+}
+
+// jobEvent is the payload of per-job SSE events.
+type jobEvent struct {
+	Sweep     string `json:"sweep"`
+	Index     int    `json:"index"`
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	PFKiB     int    `json:"pf_kib"`
+	Status    string `json:"status"`
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Error     string `json:"error,omitempty"`
+}
+
+// sweepEvent is the payload of sweep-level SSE events.
+type sweepEvent struct {
+	Sweep  string `json:"sweep"`
+	Status string `json:"status"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+}
+
+// sweepState is one submitted sweep: its spec, live progress, event
+// history and (once finished) its results.
+type sweepState struct {
+	id      string
+	created time.Time
+	sweep   *allarm.Sweep
+	total   int
+
+	mu       sync.Mutex
+	status   string
+	jobs     []JobView
+	done     int
+	results  []allarm.SweepResult
+	history  []event
+	subs     map[chan struct{}]struct{}
+	finished chan struct{} // closed when results are final
+}
+
+func newSweepState(id string, s *allarm.Sweep, now time.Time) *sweepState {
+	st := &sweepState{
+		id:       id,
+		created:  now,
+		sweep:    s,
+		total:    s.Len(),
+		status:   StatusQueued,
+		jobs:     make([]JobView, s.Len()),
+		subs:     make(map[chan struct{}]struct{}),
+		finished: make(chan struct{}),
+	}
+	for i, j := range s.Jobs {
+		st.jobs[i] = JobView{
+			Benchmark: j.WorkloadName(),
+			Policy:    j.Config.Policy.String(),
+			PFKiB:     j.Config.PFBytes >> 10,
+			Status:    JobPending,
+		}
+	}
+	return st
+}
+
+// publish appends an event to the history and pokes every subscriber.
+// Callers must hold st.mu.
+func (st *sweepState) publish(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return // payloads are our own structs; cannot fail
+	}
+	st.history = append(st.history, event{Type: typ, Data: data})
+	for ch := range st.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // subscriber already has a wakeup pending
+		}
+	}
+}
+
+// jobStarted marks job i running (the Runner.Start hook).
+func (st *sweepState) jobStarted(i int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobs[i].Status = JobRunning
+	if st.status == StatusQueued {
+		st.status = StatusRunning
+		st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
+	}
+	st.publish("job", st.jobEventLocked(i))
+}
+
+// jobFinished records job i's outcome (the Runner.JobDone hook).
+func (st *sweepState) jobFinished(i int, r allarm.SweepResult) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done++
+	if r.Err != nil {
+		st.jobs[i].Status = JobError
+		st.jobs[i].Error = r.Err.Error()
+	} else {
+		st.jobs[i].Status = JobDone
+	}
+	st.publish("job", st.jobEventLocked(i))
+}
+
+func (st *sweepState) jobEventLocked(i int) jobEvent {
+	jv := st.jobs[i]
+	return jobEvent{
+		Sweep: st.id, Index: i,
+		Benchmark: jv.Benchmark, Policy: jv.Policy, PFKiB: jv.PFKiB,
+		Status: jv.Status, Done: st.done, Total: st.total, Error: jv.Error,
+	}
+}
+
+// finish stores the final (possibly partial) results and closes the
+// stream. checkpointed marks a drain-time cancellation.
+func (st *sweepState) finish(results []allarm.SweepResult, checkpointed bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.results = results
+	if checkpointed {
+		st.status = StatusCheckpointed
+	} else {
+		st.status = StatusDone
+	}
+	st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
+	close(st.finished)
+}
+
+// view snapshots the sweep for the status endpoint.
+func (st *sweepState) view() SweepView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	jobs := make([]JobView, len(st.jobs))
+	copy(jobs, st.jobs)
+	return SweepView{
+		ID: st.id, Status: st.status, Created: st.created,
+		Total: st.total, Done: st.done, Jobs: jobs,
+	}
+}
+
+// snapshot returns the final results, or ok == false while the sweep is
+// still running.
+func (st *sweepState) snapshot() (results []allarm.SweepResult, status string, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.status != StatusDone && st.status != StatusCheckpointed {
+		return nil, st.status, false
+	}
+	return st.results, st.status, true
+}
+
+// subscribe registers an SSE consumer: a wakeup channel poked on every
+// publish. The consumer reads history incrementally via eventsSince.
+func (st *sweepState) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	st.mu.Lock()
+	st.subs[ch] = struct{}{}
+	st.mu.Unlock()
+	return ch
+}
+
+func (st *sweepState) unsubscribe(ch chan struct{}) {
+	st.mu.Lock()
+	delete(st.subs, ch)
+	st.mu.Unlock()
+}
+
+// eventsSince returns the history from index from on, plus whether the
+// sweep is final (no further events will be published).
+func (st *sweepState) eventsSince(from int) ([]event, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	final := st.status == StatusDone || st.status == StatusCheckpointed
+	if from >= len(st.history) {
+		return nil, final
+	}
+	evs := make([]event, len(st.history)-from)
+	copy(evs, st.history[from:])
+	return evs, final
+}

@@ -69,6 +69,31 @@ func RegisteredPolicies() []string {
 	return names
 }
 
+// PolicyInfo describes one registered directory policy — the discovery
+// record behind DescribePolicies, allarm-serve's GET /v1/policies and
+// the CLI -list flags.
+type PolicyInfo struct {
+	// Name is the registry key Config.Policy selects the scheme by.
+	Name string `json:"name"`
+	// Builtin marks the schemes the package ships.
+	Builtin bool `json:"builtin"`
+	// Description is a one-line human summary; empty for user schemes
+	// (RegisterPolicy records no prose).
+	Description string `json:"description,omitempty"`
+}
+
+// DescribePolicies returns every registered policy sorted by name.
+func DescribePolicies() []PolicyInfo {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	out := make([]PolicyInfo, 0, len(policyRegistry))
+	for n, e := range policyRegistry {
+		out = append(out, PolicyInfo{Name: n, Builtin: e.builtin, Description: e.desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Miss describes one demand request that missed the probe filter, for a
 // DirectoryPolicy's decision.
 type Miss struct {
@@ -145,8 +170,10 @@ type PolicyFactory func(ctx PolicyContext) DirectoryPolicy
 // holds by construction; user registrations go through the public
 // DirectoryPolicy interface.
 type policyEntry struct {
-	public PolicyFactory
-	native func(node mem.NodeID, ranges *core.RangeSet) core.AllocPolicy
+	public  PolicyFactory
+	native  func(node mem.NodeID, ranges *core.RangeSet) core.AllocPolicy
+	desc    string
+	builtin bool
 }
 
 var (
@@ -156,14 +183,22 @@ var (
 
 func init() {
 	policyRegistry[string(Baseline)] = policyEntry{
-		native: func(mem.NodeID, *core.RangeSet) core.AllocPolicy { return core.BaselineAlloc{} },
+		native:  func(mem.NodeID, *core.RangeSet) core.AllocPolicy { return core.BaselineAlloc{} },
+		desc:    "conventional sparse directory: allocate an entry on any miss",
+		builtin: true,
 	}
 	policyRegistry[string(ALLARM)] = policyEntry{
-		native: func(_ mem.NodeID, r *core.RangeSet) core.AllocPolicy { return &core.ALLARMAlloc{Ranges: r} },
+		native:  func(_ mem.NodeID, r *core.RangeSet) core.AllocPolicy { return &core.ALLARMAlloc{Ranges: r} },
+		desc:    "allocate only on remote misses; local data stays untracked (the paper)",
+		builtin: true,
 	}
 	// The bundled extensibility proof goes through the public interface,
 	// exactly like a user scheme would.
-	policyRegistry[string(ALLARMHyst)] = policyEntry{public: newHystPolicy}
+	policyRegistry[string(ALLARMHyst)] = policyEntry{
+		public:  newHystPolicy,
+		desc:    "ALLARM with hysteresis: a region's first remote read is served uncached",
+		builtin: true,
+	}
 }
 
 // RegisterPolicy adds a named allocation policy to the registry, making

@@ -25,6 +25,47 @@ func MultiProcessBenchmarks() []string {
 	return out
 }
 
+// BenchmarkInfo describes one synthetic benchmark preset — the discovery
+// record behind DescribeBenchmarks and allarm-serve's GET /v1/benchmarks.
+type BenchmarkInfo struct {
+	// Name is the preset name Job.Benchmark and RunBenchmark accept.
+	Name string `json:"name"`
+	// PrivateBytes, SharedBytes and GlobalBytes are the preset's region
+	// sizes at default scale (per thread, shared, and machine-wide
+	// read-mostly respectively); they determine the workload's directory
+	// pressure and locality mix.
+	PrivateBytes int `json:"private_bytes"`
+	SharedBytes  int `json:"shared_bytes"`
+	GlobalBytes  int `json:"global_bytes"`
+	// MultiProcess marks the SPLASH2 subset usable in Figure 4 mode
+	// (Job.MultiProcess).
+	MultiProcess bool `json:"multi_process"`
+}
+
+// DescribeBenchmarks returns every benchmark preset in the paper's
+// plotting order.
+func DescribeBenchmarks() []BenchmarkInfo {
+	mp := make(map[string]bool, len(workload.MultiProcessNames))
+	for _, n := range workload.MultiProcessNames {
+		mp[n] = true
+	}
+	out := make([]BenchmarkInfo, 0, len(workload.BenchmarkNames))
+	for _, n := range workload.BenchmarkNames {
+		p, ok := workload.Preset(n)
+		if !ok {
+			continue
+		}
+		out = append(out, BenchmarkInfo{
+			Name:         n,
+			PrivateBytes: p.PrivateBytes,
+			SharedBytes:  p.SharedBytes,
+			GlobalBytes:  p.GlobalBytes,
+			MultiProcess: mp[n],
+		})
+	}
+	return out
+}
+
 // Run simulates one workload on the machine cfg describes and returns
 // its metrics. The workload supplies its own thread count (at most
 // cfg.Nodes — the modelled cores are in-order with one outstanding

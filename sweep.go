@@ -62,9 +62,16 @@ func (j Job) workloadKey() string {
 	return fmt.Sprintf("wl:%s#%d", j.Workload.Name(), j.Workload.Threads())
 }
 
-// key returns a fingerprint identifying the simulation the job performs,
-// used by Dedup. Two jobs with the same key produce identical Results.
-func (j Job) key() string {
+// Key returns a stable fingerprint identifying the simulation the job
+// performs: two jobs with equal keys produce identical Results. It
+// drives Sweep.Dedup and is the content address of the serving result
+// cache (internal/server, cmd/allarm-serve), so a job's key is part of
+// the package's compatibility surface — golden-tested by the
+// TestJobKeyGolden* tests — and must only change when the simulation
+// semantics actually change (for example, Config gaining a
+// behaviour-affecting field). Silent drift would make the service cache
+// conflate distinct simulations or miss identical ones.
+func (j Job) Key() string {
 	// MultiProcess is inert when a first-class Workload is set (Job.Run
 	// checks Workload first), so it must not split the fingerprint.
 	mp := MultiProcessConfig{}
@@ -155,7 +162,7 @@ func (s *Sweep) Dedup() *Sweep {
 	seen := make(map[string]bool, len(s.Jobs))
 	out := s.Jobs[:0]
 	for _, j := range s.Jobs {
-		k := j.key()
+		k := j.Key()
 		if seen[k] {
 			continue
 		}
@@ -186,6 +193,24 @@ type Runner struct {
 	// number of jobs done so far, the sweep size, and the finished
 	// result. Calls are serialised; done reaches total exactly once.
 	Progress func(done, total int, r SweepResult)
+	// Start, when non-nil, is called as a worker picks up the job at the
+	// given spec index, before it runs. Unlike Progress, calls may arrive
+	// concurrently from different workers. Jobs skipped by cancellation
+	// never start: they finish (JobDone/Progress) without a Start.
+	Start func(index, total int, job Job)
+	// JobDone, when non-nil, is called when the job at the given spec
+	// index finishes (successfully or not), immediately before Progress
+	// and serialised with it. It is the per-job completion callback
+	// consumers that need the spec index — like allarm-serve's per-job
+	// status — subscribe to.
+	JobDone func(index, total int, r SweepResult)
+	// Exec, when non-nil, executes each job in place of Job.Run — the
+	// seam for layering a result cache, in-flight deduplication or
+	// remote execution under a sweep (allarm-serve's content-addressed
+	// cache plugs in here). Exec must be safe for concurrent calls and
+	// must preserve Job.Run's contract: what it returns for a job must
+	// equal what Job.Run would produce.
+	Exec func(Job) (*Result, error)
 }
 
 // Run executes every job of the sweep and returns the results in spec
@@ -213,13 +238,22 @@ func (r *Runner) Run(ctx context.Context, s *Sweep) ([]SweepResult, error) {
 	)
 	finish := func(i int, sr SweepResult) {
 		out[i] = sr
-		if r.Progress == nil {
+		if r.Progress == nil && r.JobDone == nil {
 			return
 		}
 		mu.Lock()
 		done++
-		r.Progress(done, len(jobs), sr)
+		if r.JobDone != nil {
+			r.JobDone(i, len(jobs), sr)
+		}
+		if r.Progress != nil {
+			r.Progress(done, len(jobs), sr)
+		}
 		mu.Unlock()
+	}
+	exec := r.Exec
+	if exec == nil {
+		exec = Job.Run
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -234,7 +268,10 @@ func (r *Runner) Run(ctx context.Context, s *Sweep) ([]SweepResult, error) {
 					finish(i, SweepResult{Job: jobs[i], Err: err})
 					continue
 				}
-				res, err := jobs[i].Run()
+				if r.Start != nil {
+					r.Start(i, len(jobs), jobs[i])
+				}
+				res, err := exec(jobs[i])
 				finish(i, SweepResult{Job: jobs[i], Result: res, Err: err})
 			}
 		}()

@@ -74,6 +74,16 @@ func LoadTrace(path string) (Workload, error) {
 // ReadTrace reads a trace stream into a replayable Workload (named
 // "trace"; LoadTrace names it after its file).
 func ReadTrace(r io.Reader) (Workload, error) {
+	return ReadTraceNamed(r, "trace")
+}
+
+// ReadTraceNamed reads a trace stream into a replayable Workload with
+// the given name. The name identifies the workload in results and — via
+// Job.Key — in sweep deduplication and allarm-serve's result cache, so
+// distinct trace contents sharing one deduplicated sweep (or one cache)
+// need distinct names; allarm-serve names uploads by content hash for
+// exactly this reason.
+func ReadTraceNamed(r io.Reader, name string) (Workload, error) {
 	tr, err := trace.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -82,7 +92,7 @@ func ReadTrace(r io.Reader) (Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &traceWorkload{name: "trace", rp: rp}, nil
+	return &traceWorkload{name: name, rp: rp}, nil
 }
 
 // traceWorkload adapts an internal trace replay to the public Workload
