@@ -8,32 +8,45 @@
 //	allarm-serve                          # listen on :8347
 //	allarm-serve -addr 127.0.0.1:0        # ephemeral port (printed)
 //	allarm-serve -parallel 4 -cache 4096
+//	allarm-serve -cache-dir /var/lib/allarm -retain 24h
 //	allarm-serve -checkpoint /var/lib/allarm -grace 60s
 //
 // Endpoints:
 //
-//	POST /v1/sweeps               submit a sweep (benchmarks/workloads ×
-//	                              policies × pf_kib); returns its id
-//	GET  /v1/sweeps               list sweeps
-//	GET  /v1/sweeps/{id}          status and per-job progress
-//	GET  /v1/sweeps/{id}/results  results; ?format= or Accept negotiates
-//	                              json, ndjson, csv or table
-//	GET  /v1/sweeps/{id}/events   live progress (Server-Sent Events)
-//	POST /v1/traces               upload a captured trace; jobs reference
-//	                              it as "trace:<id>"
-//	GET  /v1/policies             registered directory policies
-//	GET  /v1/benchmarks           benchmark presets
-//	GET  /healthz                 liveness (reports draining)
-//	GET  /metrics                 counters: jobs run, cache hits/misses,
-//	                              coalesced flights, events/sec
+//	POST   /v1/sweeps               submit a sweep (benchmarks/workloads
+//	                                × policies × pf_kib); returns its id
+//	GET    /v1/sweeps               list sweeps
+//	GET    /v1/sweeps/{id}          status and per-job progress
+//	DELETE /v1/sweeps/{id}          evict a finished sweep (409 while it
+//	                                is still running)
+//	GET    /v1/sweeps/{id}/results  results; ?format= or Accept
+//	                                negotiates json, ndjson, csv, table
+//	GET    /v1/sweeps/{id}/events   live progress (Server-Sent Events)
+//	POST   /v1/traces               upload a captured trace; jobs
+//	                                reference it as "trace:<id>"
+//	GET    /v1/policies             registered directory policies
+//	GET    /v1/benchmarks           benchmark presets
+//	GET    /healthz                 liveness (reports draining)
+//	GET    /metrics                 counters: jobs run, cache hits
+//	                                (memory/disk), recoveries, aborts
+//
+// With -cache-dir the daemon is restart-safe: every complete result is
+// written through to a content-addressed disk store (keyed by the same
+// Job.Key as the in-memory cache), sweep specs and trace uploads are
+// persisted, and on boot unfinished sweeps re-enqueue under their
+// original ids with already-computed jobs served from disk instead of
+// re-simulating. -retain bounds how long finished sweeps (not their
+// cached results) are kept.
 //
 // On SIGINT/SIGTERM the daemon drains: submissions are refused,
 // in-flight sweeps get -grace to finish, and whatever is still running
-// is cancelled with its partial results checkpointed (fetchable until
-// exit and, with -checkpoint, written as <sweep-id>.ndjson).
+// is cancelled — the cancellation reaches into the simulation event
+// loop, so even a long job aborts within one event budget — with
+// partial results checkpointed (fetchable until exit and written as
+// <sweep-id>.ndjson under -checkpoint or <cache-dir>/checkpoints).
 //
-// See the Serving section of README.md for a curl quickstart and the
-// cache semantics.
+// See the "Durability & cancellation" section of README.md for the
+// cache-dir layout, checkpoint format and drain semantics.
 package main
 
 import (
@@ -60,8 +73,10 @@ func run() int {
 	var (
 		addr       = flag.String("addr", ":8347", "listen address (host:port; port 0 picks one)")
 		parallel   = flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
-		cacheSize  = flag.Int("cache", server.DefaultCacheEntries, "result cache capacity in entries")
-		checkpoint = flag.String("checkpoint", "", "directory for drain-time partial-result checkpoints")
+		cacheSize  = flag.Int("cache", server.DefaultCacheEntries, "in-memory result cache capacity in entries")
+		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result store and restart recovery")
+		retain     = flag.Duration("retain", 0, "evict finished sweeps this long after completion (0 = keep forever)")
+		checkpoint = flag.String("checkpoint", "", "directory for drain-time partial-result checkpoints (default <cache-dir>/checkpoints)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight sweeps are cancelled")
 	)
 	flag.Parse()
@@ -69,14 +84,20 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Workers:       *parallel,
 		CacheEntries:  *cacheSize,
+		CacheDir:      *cacheDir,
+		Retain:        *retain,
 		CheckpointDir: *checkpoint,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "allarm-serve: "+format+"\n", args...)
 		},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+		return 1
+	}
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)

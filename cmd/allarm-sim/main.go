@@ -156,7 +156,11 @@ func run() int {
 		err = allarm.CSVEmitter{}.Emit(os.Stdout, results)
 	default:
 		for _, r := range results {
-			if r.Result != nil {
+			// Aborted jobs carry a partial Result alongside their error;
+			// the human summary prints completed runs only (the raw
+			// -json/-csv rows expose partials, with the error and — in
+			// JSON — the aborted flag).
+			if r.Result != nil && r.Err == nil {
 				print1(r.Result)
 			}
 		}

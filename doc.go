@@ -29,6 +29,15 @@
 //	wl, _ = allarm.LoadTrace("barnes.trace")    // captured with CaptureTrace / allarm-trace
 //	wl, _ = allarm.NewWorkload(allarm.WorkloadSpec{...}) // programmatic
 //
+// Every entry point has a context-aware variant (RunCtx,
+// RunBenchmarkCtx, RunMultiProcessCtx, Job.RunCtx): the simulation
+// polls the context once per sim.CancelCheckBudget events — amortised
+// to nothing on the hot path — and a cancelled run returns a partial
+// Result (Partial == true, metrics up to the abort instant) together
+// with an error IsCancellation recognises. Partial results are never
+// cached anywhere; re-running the job from a clean start reproduces
+// the bit-identical complete result.
+//
 // RunBenchmark(cfg, name) is the preset shortcut, and RunPair runs the
 // paper's baseline/ALLARM comparison:
 //
@@ -92,6 +101,19 @@
 // by the same emitters the CLI uses (byte-identical to a local
 // RunSweep; NDJSONEmitter is the streaming-friendly variant), traces
 // upload via POST /v1/traces (ReadTraceNamed), and DescribePolicies /
-// DescribeBenchmarks back the discovery endpoints. See the Serving
-// section of README.md for a curl quickstart and the cache semantics.
+// DescribeBenchmarks back the discovery endpoints.
+//
+// The daemon is durable and interruptible. With a cache directory the
+// result cache gains a disk tier content-addressed by the same
+// Job.Key, submitted sweeps persist until deleted (DELETE
+// /v1/sweeps/{id}) or expired (-retain), and a restarted daemon
+// re-enqueues unfinished sweeps under their original ids, serving
+// already-computed jobs from disk and re-simulating only the missing
+// ones. Drain-time cancellation rides Runner.Exec's context into the
+// event loop, so an executing simulation aborts within one
+// sim.CancelCheckBudget of events; interrupted jobs are reported
+// "aborted" (with partial metrics in the checkpoint NDJSON, flagged
+// "aborted":true) and never-started ones "skipped". See the Serving
+// and "Durability & cancellation" sections of README.md for a curl
+// quickstart, the cache-dir layout and the drain semantics.
 package allarm

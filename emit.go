@@ -40,6 +40,12 @@ type sweepRecord struct {
 	PFKiB     int    `json:"pf_kib"`
 	Seed      uint64 `json:"seed"`
 	Error     string `json:"error,omitempty"`
+	// Aborted marks a job cancelled mid-simulation (drain, Ctrl-C): the
+	// error explains the cancellation and the metrics, when present, are
+	// the partial counts up to the abort instant. Only JSON-based
+	// emitters carry the flag (checkpoint NDJSON in particular); the
+	// CSV/table column set is unchanged.
+	Aborted bool `json:"aborted,omitempty"`
 
 	*sweepMetrics
 }
@@ -84,7 +90,13 @@ func record(r SweepResult) sweepRecord {
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
-		return rec
+		rec.Aborted = r.Aborted()
+		if !rec.Aborted {
+			// Failed or skipped outright: no metrics to report. Aborted
+			// jobs fall through so their partial counts are emitted
+			// alongside the error (checkpoint NDJSON relies on this).
+			return rec
+		}
 	}
 	if res := r.Result; res != nil {
 		rec.sweepMetrics = &sweepMetrics{

@@ -1,8 +1,10 @@
 package allarm_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -119,6 +121,77 @@ func TestNDJSONEmitterGolden(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("line %d is not standalone JSON: %v\n%s", i, err, line)
 		}
+	}
+}
+
+// TestEmitAbortedRecord: a job cancelled mid-simulation (partial
+// Result + cancellation error) is emitted with "aborted":true and its
+// partial metrics alongside the error — the checkpoint NDJSON contract
+// — while plain failures and successes are unchanged.
+func TestEmitAbortedRecord(t *testing.T) {
+	cfg := allarm.Config{Threads: 16, PFBytes: 128 << 10, Seed: 1, Policy: allarm.Baseline}
+	aborted := allarm.SweepResult{
+		Job: allarm.Job{Benchmark: "barnes", Config: cfg},
+		Result: &allarm.Result{
+			Benchmark:  "barnes",
+			PolicyUsed: allarm.Baseline,
+			RuntimeNs:  99.5,
+			Accesses:   1200,
+			Partial:    true,
+		},
+		Err: fmt.Errorf("allarm: barnes (baseline): %w", context.Canceled),
+	}
+	if !aborted.Aborted() {
+		t.Fatal("fixture not recognised as aborted")
+	}
+	skipped := allarm.SweepResult{
+		Job: allarm.Job{Benchmark: "x264", Config: cfg},
+		Err: context.Canceled,
+	}
+
+	var sb strings.Builder
+	if err := (allarm.NDJSONEmitter{}).Emit(&sb, []allarm.SweepResult{aborted, skipped}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	var a, s map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &s); err != nil {
+		t.Fatal(err)
+	}
+	if a["aborted"] != true {
+		t.Errorf("aborted record missing aborted flag: %v", a)
+	}
+	if a["error"] == "" || a["error"] == nil {
+		t.Errorf("aborted record missing error: %v", a)
+	}
+	if a["runtime_ns"] != 99.5 || a["accesses"] != float64(1200) {
+		t.Errorf("aborted record lost its partial metrics: %v", a)
+	}
+	if _, present := s["aborted"]; present {
+		t.Errorf("skipped record carries an aborted flag: %v", s)
+	}
+	if _, present := s["runtime_ns"]; present {
+		t.Errorf("skipped record carries metrics: %v", s)
+	}
+
+	// The CSV column set is unchanged: aborted rows render their partial
+	// metrics with the error column, no extra column.
+	sb.Reset()
+	if err := (allarm.CSVEmitter{}).Emit(&sb, []allarm.SweepResult{aborted}); err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if !strings.Contains(csvLines[1], "99.5") || !strings.Contains(csvLines[1], "context canceled") {
+		t.Errorf("aborted CSV row: %s", csvLines[1])
+	}
+	if got, want := strings.Count(csvLines[1], ","), strings.Count(csvLines[0], ","); got != want {
+		t.Errorf("aborted CSV row has %d separators, header has %d", got, want)
 	}
 }
 

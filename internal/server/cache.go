@@ -68,6 +68,51 @@ func (c *resultCache) Len() int {
 	return c.ll.Len()
 }
 
+// tier identifies which layer of the result store satisfied a Get.
+type tier int
+
+const (
+	tierNone tier = iota // miss everywhere: the simulation must run
+	tierMem              // in-memory LRU hit
+	tierDisk             // disk-backend hit (promoted into the LRU)
+)
+
+// tieredStore is the two-level content-addressed result store: a
+// bounded in-memory LRU in front of an optional unbounded disk backend.
+// Reads probe memory first and promote disk hits into the LRU; writes
+// go through to both, so every complete result survives a restart even
+// after the LRU evicts it. With no disk tier it degenerates to the
+// plain LRU the daemon always had.
+type tieredStore struct {
+	lru  *resultCache
+	disk *diskStore // nil = memory only
+}
+
+// Get returns the cached result for key and the tier that held it.
+func (s *tieredStore) Get(key string) (*allarm.Result, tier) {
+	if res, ok := s.lru.Get(key); ok {
+		return res, tierMem
+	}
+	if s.disk != nil {
+		if res, ok := s.disk.Get(key); ok {
+			s.lru.Add(key, res)
+			return res, tierDisk
+		}
+	}
+	return nil, tierNone
+}
+
+// Add stores a complete result in both tiers. The disk write's error is
+// returned for logging but the memory tier is always updated: a failing
+// disk never blocks serving.
+func (s *tieredStore) Add(key string, res *allarm.Result) error {
+	s.lru.Add(key, res)
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Put(key, res)
+}
+
 // flight is one in-progress simulation other requests for the same key
 // wait on instead of re-running it.
 type flight struct {

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	allarm "allarm"
+)
+
+// diskStore is the persistent tier of the result cache: one file per
+// simulation result, content-addressed by Job.Key (the same
+// golden-tested fingerprint the in-memory LRU and Sweep.Dedup use), so
+// results survive daemon restarts and can be shared between daemons
+// pointed at the same directory.
+//
+// Layout: <dir>/<sha256(key)>.json. Each file is a single diskEntry
+// JSON object on one line — the same one-object-per-line convention as
+// the drain checkpoints' NDJSON, so `jq` and log pipelines can process
+// a whole store with `cat dir/*.json`. The entry embeds the full
+// (un-hashed) key and is verified on read: a hash collision or a
+// foreign file can never serve the wrong simulation.
+//
+// Writes go through a temp file + rename, so a crash (SIGKILL) midway
+// leaves either the old content or none — never a torn entry. Entries
+// are immutable once written (simulations are deterministic), which is
+// what makes the store safe to share read-write between a draining old
+// daemon and its restarted successor.
+type diskStore struct {
+	dir string
+	// entries tracks the file count (seeded at open, bumped on new
+	// Puts) so /metrics scrapes don't pay a directory scan on an
+	// unbounded store.
+	entries atomic.Int64
+}
+
+// diskEntry is the on-disk representation of one cached result. The
+// Result keeps only its exported metrics — the raw per-node statistics
+// (Result.Raw) do not survive the round-trip — which is exactly what
+// the emitters consume, so served bytes stay identical to a fresh run.
+type diskEntry struct {
+	Key     string         `json:"key"`
+	SavedAt time.Time      `json:"saved_at"`
+	Result  *allarm.Result `json:"result"`
+}
+
+// newDiskStore opens (creating if needed) a result store rooted at dir.
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("result store: %w", err)
+	}
+	d := &diskStore{dir: dir}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("result store: %w", err)
+	}
+	d.entries.Store(int64(len(names)))
+	return d, nil
+}
+
+// path maps a job key to its entry file. Keys are arbitrary strings
+// (they embed %+v-rendered configs), so the filename is the key's
+// SHA-256; the key itself is stored inside the entry and checked on Get.
+func (d *diskStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the stored result for key, or false when the entry is
+// absent, unreadable or fails key verification (corrupt entries are
+// treated as misses, never as errors: the simulator can always
+// regenerate them).
+func (d *diskStore) Get(key string) (*allarm.Result, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Result == nil {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put persists res under key, atomically (temp file + rename).
+func (d *diskStore) Put(key string, res *allarm.Result) error {
+	data, err := json.Marshal(diskEntry{Key: key, SavedAt: time.Now().UTC(), Result: res})
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := d.path(key)
+	_, statErr := os.Stat(path)
+	if err := atomicWrite(path, data); err != nil {
+		return err
+	}
+	if os.IsNotExist(statErr) {
+		d.entries.Add(1)
+	}
+	return nil
+}
+
+// Len reports the number of stored entries (metrics; the store itself
+// is unbounded — retention is the operator's via the content-addressed
+// filenames). It is an O(1) counter, approximate only if another
+// process writes the directory concurrently.
+func (d *diskStore) Len() int {
+	return int(d.entries.Load())
+}
+
+// atomicWrite writes data to path via a same-directory temp file and
+// rename, so concurrent readers (and crash recovery) only ever see a
+// complete file.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	allarm "allarm"
+)
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	d, err := newDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := `bench:ocean-cont|false|{...}|{Threads:4}`
+	res := &allarm.Result{Benchmark: "ocean-cont", RuntimeNs: 123.5, Accesses: 42, Events: 99}
+	if _, ok := d.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := d.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Benchmark != res.Benchmark || got.RuntimeNs != res.RuntimeNs ||
+		got.Accesses != res.Accesses || got.Events != res.Events {
+		t.Fatalf("round trip changed the result: %+v", got)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+// TestDiskStoreRejectsCorruptEntries: truncated files, foreign JSON and
+// key mismatches read as misses, never as wrong results.
+func TestDiskStoreRejectsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	d, err := newDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "some-job-key"
+	if err := d.Put(key, &allarm.Result{Benchmark: "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := d.path(key)
+	for name, data := range map[string][]byte{
+		"truncated":    []byte(`{"key":"some-job-`),
+		"foreign":      []byte(`{"hello":"world"}`),
+		"key-mismatch": []byte(`{"key":"other-key","result":{"Benchmark":"x"}}`),
+		"null-result":  []byte(`{"key":"some-job-key","result":null}`),
+	} {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if res, ok := d.Get(key); ok {
+			t.Errorf("%s entry served as a hit: %+v", name, res)
+		}
+	}
+}
+
+// TestDiskStoreSharedBetweenStores: two stores over one directory see
+// each other's writes — the sharing model for restarted daemons.
+func TestDiskStoreSharedBetweenStores(t *testing.T) {
+	dir := t.TempDir()
+	a, err := newDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("k", &allarm.Result{Benchmark: "b", Events: 5}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get("k")
+	if !ok || got.Events != 5 {
+		t.Fatalf("second store missed the first store's write: %v %v", got, ok)
+	}
+	// No temp files leak from atomic writes.
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}

@@ -9,9 +9,14 @@ type metrics struct {
 	sweepsSubmitted    atomic.Uint64
 	sweepsCompleted    atomic.Uint64
 	sweepsCheckpointed atomic.Uint64
+	sweepsRecovered    atomic.Uint64
+	sweepsDeleted      atomic.Uint64
+	sweepsExpired      atomic.Uint64
 	jobsRun            atomic.Uint64
+	jobsAborted        atomic.Uint64
 	jobErrors          atomic.Uint64
 	cacheHits          atomic.Uint64
+	cacheDiskHits      atomic.Uint64
 	cacheMisses        atomic.Uint64
 	coalesced          atomic.Uint64
 	tracesUploaded     atomic.Uint64
@@ -21,7 +26,10 @@ type metrics struct {
 
 // Metrics is the GET /metrics payload. Hit/miss/coalesced make cache
 // effectiveness — including the "identical concurrent submissions run
-// once" guarantee — observable from the outside.
+// once" guarantee — observable from the outside; the disk-tier and
+// recovery counters do the same for restart durability, and
+// JobsAborted exposes how often drain actually interrupted a
+// simulation mid-run.
 type Metrics struct {
 	UptimeSeconds      float64 `json:"uptime_seconds"`
 	Draining           bool    `json:"draining"`
@@ -29,13 +37,19 @@ type Metrics struct {
 	SweepsActive       uint64  `json:"sweeps_active"`
 	SweepsCompleted    uint64  `json:"sweeps_completed"`
 	SweepsCheckpointed uint64  `json:"sweeps_checkpointed"`
+	SweepsRecovered    uint64  `json:"sweeps_recovered"`
+	SweepsDeleted      uint64  `json:"sweeps_deleted"`
+	SweepsExpired      uint64  `json:"sweeps_expired"`
 	JobsRun            uint64  `json:"jobs_run"`
+	JobsAborted        uint64  `json:"jobs_aborted"`
 	JobErrors          uint64  `json:"job_errors"`
 	CacheHits          uint64  `json:"cache_hits"`
+	CacheDiskHits      uint64  `json:"cache_disk_hits"`
 	CacheMisses        uint64  `json:"cache_misses"`
 	InflightCoalesced  uint64  `json:"inflight_coalesced"`
 	CacheEntries       int     `json:"cache_entries"`
 	CacheCapacity      int     `json:"cache_capacity"`
+	DiskEntries        int     `json:"disk_entries,omitempty"`
 	TracesUploaded     uint64  `json:"traces_uploaded"`
 	SimEventsTotal     uint64  `json:"sim_events_total"`
 	SimEventsPerSec    float64 `json:"sim_events_per_sec"`

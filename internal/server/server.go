@@ -10,6 +10,30 @@
 // coalesced onto one execution (singleflight). Results are exactly what
 // the library produces; the emitters rendering them are the ones the
 // CLI tools use, so served output is byte-identical to a local run.
+//
+// # Durability
+//
+// With a cache directory (Options.CacheDir, allarm-serve -cache-dir)
+// the daemon becomes restart-safe. The in-memory LRU gains a disk tier
+// (results/, content-addressed by the same Job.Key) that every complete
+// result is written through to; submitted sweep specs are persisted
+// (sweeps/<id>.json) until the sweep is deleted or expires; uploaded
+// traces are kept (traces/<id>); and drain checkpoints default into
+// checkpoints/. At boot the daemon re-enqueues every persisted sweep
+// under its original id — jobs whose keys are already in the disk store
+// are served from it without re-simulating, so only the missing jobs
+// actually run. A SIGKILL therefore costs at most the simulations that
+// were mid-flight; everything completed is recovered byte-identically.
+//
+// # Cancellation
+//
+// Drain cancellation is threaded through Runner.Exec into the event
+// loop itself (sim.RunCtx), so an executing simulation aborts within
+// one sim.CancelCheckBudget of events instead of running to
+// completion: drain time is bounded by the grace period plus one event
+// budget, not one full simulation. Interrupted jobs report status
+// "aborted" (with their partial metrics in the checkpoint NDJSON);
+// jobs cancellation reached first report "skipped".
 package server
 
 import (
@@ -24,6 +48,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -52,14 +77,29 @@ type Options struct {
 	// (<= 0: NumCPU). Request handling is not bounded by it: cache hits
 	// and status reads never wait for a worker.
 	Workers int
-	// CacheEntries bounds the result cache (<= 0: DefaultCacheEntries).
+	// CacheEntries bounds the in-memory result cache (<= 0:
+	// DefaultCacheEntries). The disk tier, when enabled, is unbounded.
 	CacheEntries int
+	// CacheDir, when non-empty, makes the daemon restart-safe: results
+	// are written through to a disk store under it, sweep specs and
+	// uploaded traces are persisted, and boot re-enqueues unfinished
+	// sweeps (see the package's Durability section for the layout).
+	CacheDir string
 	// CheckpointDir, when non-empty, receives one <sweep-id>.ndjson per
-	// sweep still in flight when Drain cancels it.
+	// sweep still in flight when Drain cancels it. Empty with a CacheDir
+	// defaults to <CacheDir>/checkpoints.
 	CheckpointDir string
-	// RunJob executes one simulation; nil means Job.Run. Tests inject
-	// gates and counters here.
-	RunJob func(allarm.Job) (*allarm.Result, error)
+	// Retain, when positive, evicts finished sweeps (and their persisted
+	// specs and checkpoints) that reached a terminal state longer than
+	// this ago, instead of keeping them for the daemon's lifetime. The
+	// content-addressed result store is not affected: identical
+	// re-submissions stay cache hits after the sweep itself is gone.
+	Retain time.Duration
+	// RunJob executes one simulation; nil means Job.RunCtx. Tests inject
+	// gates and counters here. Implementations must honour ctx the way
+	// Job.RunCtx does: drain latency is bounded by how promptly they
+	// abort.
+	RunJob func(ctx context.Context, j allarm.Job) (*allarm.Result, error)
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -67,17 +107,20 @@ type Options struct {
 // Server is the daemon state: sweeps, uploaded traces, the result cache
 // and the worker pool. Create with New, serve Handler, stop with Drain.
 type Server struct {
-	opts    Options
-	workers int
-	mux     *http.ServeMux
-	ctx     context.Context
-	cancel  context.CancelFunc
-	sem     chan struct{}
-	cache   *resultCache
-	flights flightGroup
-	met     metrics
-	start   time.Time
-	runJob  func(allarm.Job) (*allarm.Result, error)
+	opts          Options
+	workers       int
+	mux           *http.ServeMux
+	ctx           context.Context
+	cancel        context.CancelFunc
+	sem           chan struct{}
+	cache         *tieredStore
+	flights       flightGroup
+	met           metrics
+	start         time.Time
+	runJob        func(ctx context.Context, j allarm.Job) (*allarm.Result, error)
+	sweepDir      string // persisted sweep specs (restart recovery); "" = none
+	traceDir      string // persisted trace uploads; "" = none
+	checkpointDir string // drain checkpoints; "" = none
 
 	mu       sync.Mutex
 	draining bool
@@ -90,8 +133,10 @@ type Server struct {
 	actives  int // running sweep goroutines (metrics)
 }
 
-// New returns a ready Server.
-func New(opts Options) *Server {
+// New returns a ready Server. With Options.CacheDir set it also opens
+// the disk result store and re-enqueues every persisted sweep (see
+// Recover); the returned server is already running those.
+func New(opts Options) (*Server, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -102,24 +147,45 @@ func New(opts Options) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:    opts,
-		workers: workers,
-		ctx:     ctx,
-		cancel:  cancel,
-		sem:     make(chan struct{}, workers),
-		cache:   newResultCache(entries),
-		start:   time.Now(),
-		runJob:  opts.RunJob,
-		sweeps:  make(map[string]*sweepState),
-		traces:  make(map[string]allarm.Workload),
+		opts:          opts,
+		workers:       workers,
+		ctx:           ctx,
+		cancel:        cancel,
+		sem:           make(chan struct{}, workers),
+		cache:         &tieredStore{lru: newResultCache(entries)},
+		start:         time.Now(),
+		runJob:        opts.RunJob,
+		checkpointDir: opts.CheckpointDir,
+		sweeps:        make(map[string]*sweepState),
+		traces:        make(map[string]allarm.Workload),
 	}
 	if s.runJob == nil {
-		s.runJob = allarm.Job.Run
+		s.runJob = func(ctx context.Context, j allarm.Job) (*allarm.Result, error) { return j.RunCtx(ctx) }
+	}
+	if opts.CacheDir != "" {
+		disk, err := newDiskStore(filepath.Join(opts.CacheDir, "results"))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.cache.disk = disk
+		s.sweepDir = filepath.Join(opts.CacheDir, "sweeps")
+		s.traceDir = filepath.Join(opts.CacheDir, "traces")
+		if s.checkpointDir == "" {
+			s.checkpointDir = filepath.Join(opts.CacheDir, "checkpoints")
+		}
+		for _, dir := range []string{s.sweepDir, s.traceDir, s.checkpointDir} {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				cancel()
+				return nil, fmt.Errorf("cache dir: %w", err)
+			}
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
@@ -127,7 +193,14 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	if opts.Retain > 0 {
+		go s.janitor()
+	}
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -145,13 +218,15 @@ func (s *Server) logf(format string, args ...any) {
 // Drain shuts the daemon down gracefully: new sweep submissions are
 // refused (503) immediately, then in-flight sweeps get until ctx
 // expires to complete; after that, still-running sweeps are cancelled
-// and checkpointed — their partial results stay fetchable (unreached
-// jobs carry the cancellation error) and, with a CheckpointDir, are
-// written as <sweep-id>.ndjson. Cancellation skips jobs that have not
-// started; a simulation already executing is not interruptible
-// (Job.Run takes no context) and runs to completion before its sweep
-// checkpoints, so total drain time is bounded by the grace period plus
-// one simulation, not by the grace period alone.
+// and checkpointed — their partial results stay fetchable (skipped
+// jobs carry the cancellation error, aborted ones additionally their
+// partial metrics) and, with a checkpoint directory, are written as
+// <sweep-id>.ndjson. Cancellation reaches into the event loop itself
+// (sim.RunCtx): an executing simulation aborts within one
+// sim.CancelCheckBudget of events, so total drain time is bounded by
+// the grace period plus one event budget — not by a full simulation.
+// With a CacheDir, the cancelled sweeps' specs stay persisted, so the
+// next daemon re-enqueues exactly the jobs that did not finish.
 func (s *Server) Drain(ctx context.Context) {
 	s.mu.Lock()
 	s.draining = true
@@ -169,6 +244,142 @@ func (s *Server) Drain(ctx context.Context) {
 		<-done
 	}
 	s.cancel()
+}
+
+// persistedSweep is the sweeps/<id>.json record a CacheDir daemon
+// writes at submit time: everything needed to rebuild the sweep under
+// its original id after a restart. It deliberately stores the request,
+// not the expanded job list — buildSweep is deterministic, and
+// re-expanding keeps the file format decoupled from Job's fields.
+type persistedSweep struct {
+	ID      string       `json:"id"`
+	Created time.Time    `json:"created"`
+	Request SweepRequest `json:"request"`
+}
+
+// persistSweep writes the sweep's spec for restart recovery (no-op
+// without a CacheDir). Errors are logged, not fatal: durability
+// degrades, serving does not.
+func (s *Server) persistSweep(id string, created time.Time, req *SweepRequest) {
+	if s.sweepDir == "" {
+		return
+	}
+	data, err := json.Marshal(persistedSweep{ID: id, Created: created, Request: *req})
+	if err == nil {
+		err = atomicWrite(filepath.Join(s.sweepDir, id+".json"), append(data, '\n'))
+	}
+	if err != nil {
+		s.logf("sweep %s: persist: %v", id, err)
+	}
+}
+
+// removeSweepFiles deletes a sweep's persisted spec and checkpoint
+// (DELETE endpoint and -retain eviction).
+func (s *Server) removeSweepFiles(id string) {
+	if s.sweepDir != "" {
+		os.Remove(filepath.Join(s.sweepDir, id+".json"))
+	}
+	if s.checkpointDir != "" {
+		os.Remove(filepath.Join(s.checkpointDir, id+".ndjson"))
+	}
+}
+
+// recover re-enqueues every persisted sweep at boot, in id order, under
+// its original id. Jobs whose keys are already in the disk result
+// store resolve as disk hits without re-simulating; only the missing
+// jobs run. Corrupt or no-longer-buildable specs are logged and
+// skipped, never fatal — the daemon must come up.
+func (s *Server) recover() error {
+	if s.sweepDir == "" {
+		return nil
+	}
+	paths, err := filepath.Glob(filepath.Join(s.sweepDir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths) // sw-%06d ids sort chronologically
+	var states []*sweepState
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.logf("recover %s: %v", path, err)
+			continue
+		}
+		var ps persistedSweep
+		if err := json.Unmarshal(data, &ps); err != nil || ps.ID == "" {
+			s.logf("recover %s: corrupt spec, skipping", path)
+			continue
+		}
+		sweep, err := s.buildSweep(&ps.Request)
+		if err != nil {
+			s.logf("recover %s: %v", ps.ID, err)
+			continue
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(ps.ID, "sw-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		st := newSweepState(ps.ID, sweep, ps.Created)
+		st.recovered = true
+		s.sweeps[ps.ID] = st
+		s.order = append(s.order, ps.ID)
+		s.active.Add(1)
+		s.actives++
+		states = append(states, st)
+	}
+	for _, st := range states {
+		s.met.sweepsRecovered.Add(1)
+		s.logf("sweep %s: recovered from %s (%d jobs)", st.id, s.sweepDir, st.total)
+		go s.runSweep(st)
+	}
+	return nil
+}
+
+// janitor periodically evicts finished sweeps older than Retain.
+func (s *Server) janitor() {
+	interval := s.opts.Retain / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.evictExpired()
+		}
+	}
+}
+
+// evictExpired removes finished sweeps that outlived the retention TTL
+// (their persisted specs and checkpoints with them). It runs from the
+// janitor and opportunistically from the listing handler so tests and
+// bursty deployments see timely eviction without waiting a tick.
+func (s *Server) evictExpired() {
+	if s.opts.Retain <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-s.opts.Retain)
+	var evicted []string
+	s.mu.Lock()
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if st := s.sweeps[id]; st != nil && st.expired(cutoff) {
+			delete(s.sweeps, id)
+			evicted = append(evicted, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	s.mu.Unlock()
+	for _, id := range evicted {
+		s.removeSweepFiles(id)
+		s.met.sweepsExpired.Add(1)
+		s.logf("sweep %s: expired after %s retention", id, s.opts.Retain)
+	}
 }
 
 // SweepRequest is the POST /v1/sweeps body: seed workloads crossed with
@@ -252,6 +463,11 @@ func (s *Server) buildSweep(req *SweepRequest) (*allarm.Sweep, error) {
 			wl := s.traces[id]
 			s.mu.Unlock()
 			if wl == nil {
+				// Not in memory (restart, or evicted beyond maxTraces):
+				// fall back to the persisted upload.
+				wl = s.loadTraceFromDisk(id)
+			}
+			if wl == nil {
 				return nil, fmt.Errorf("unknown trace %q (upload with POST /v1/traces)", id)
 			}
 			job.Workload = wl
@@ -310,13 +526,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("sw-%06d", s.nextID)
-	st := newSweepState(id, sweep, time.Now())
+	created := time.Now()
+	st := newSweepState(id, sweep, created)
 	s.sweeps[id] = st
 	s.order = append(s.order, id)
 	s.active.Add(1)
 	s.actives++
 	s.mu.Unlock()
 
+	// Persist the spec before acknowledging: once the client holds the
+	// id, a crash must not forget the sweep.
+	s.persistSweep(id, created, &req)
 	s.met.sweepsSubmitted.Add(1)
 	s.logf("sweep %s: %d jobs submitted", id, sweep.Len())
 	go s.runSweep(st)
@@ -363,33 +583,35 @@ func (s *Server) runSweep(st *sweepState) {
 	s.logf("sweep %s: done (%d jobs)", st.id, st.total)
 }
 
-// checkpoint writes a cancelled sweep's partial results as NDJSON.
+// checkpoint writes a cancelled sweep's partial results as NDJSON
+// (aborted jobs carry their partial metrics and "aborted":true). Like
+// every other cache-dir file it is written atomically, so a kill
+// during shutdown never leaves a torn checkpoint.
 func (s *Server) checkpoint(st *sweepState, results []allarm.SweepResult) {
-	if s.opts.CheckpointDir == "" {
+	if s.checkpointDir == "" {
 		return
 	}
-	path := filepath.Join(s.opts.CheckpointDir, st.id+".ndjson")
-	f, err := os.Create(path)
-	if err != nil {
+	path := filepath.Join(s.checkpointDir, st.id+".ndjson")
+	var buf bytes.Buffer
+	if err := (allarm.NDJSONEmitter{}).Emit(&buf, results); err != nil {
 		s.logf("sweep %s: checkpoint: %v", st.id, err)
 		return
 	}
-	defer f.Close()
-	if err := (allarm.NDJSONEmitter{}).Emit(f, results); err != nil {
+	if err := atomicWrite(path, buf.Bytes()); err != nil {
 		s.logf("sweep %s: checkpoint: %v", st.id, err)
 		return
 	}
 	s.logf("sweep %s: partial results checkpointed to %s", st.id, path)
 }
 
-// exec runs one job through the cache, the singleflight group and the
-// bounded pool, in that order. It is the Runner.Exec of every sweep, so
-// its outcome for a job must equal Job.Run's — it only ever returns a
-// result the simulator produced for exactly this key.
-func (s *Server) exec(job allarm.Job) (*allarm.Result, error) {
+// exec runs one job through the two-tier cache, the singleflight group
+// and the bounded pool, in that order. It is the Runner.Exec of every
+// sweep, so its outcome for a job must equal Job.RunCtx's — it only
+// ever returns a result the simulator produced for exactly this key.
+func (s *Server) exec(ctx context.Context, job allarm.Job) (*allarm.Result, error) {
 	key := job.Key()
-	if res, ok := s.cache.Get(key); ok {
-		s.met.cacheHits.Add(1)
+	if res, src := s.cache.Get(key); src != tierNone {
+		s.countHit(src)
 		return res, nil
 	}
 	fl, leader := s.flights.join(key)
@@ -398,42 +620,62 @@ func (s *Server) exec(job allarm.Job) (*allarm.Result, error) {
 		select {
 		case <-fl.done:
 			return fl.res, fl.err
-		case <-s.ctx.Done():
-			return nil, s.ctx.Err()
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 
-	res, err := s.lead(key, job)
+	res, err := s.lead(ctx, key, job)
 	s.flights.finish(key, fl, res, err)
 	return res, err
 }
 
+func (s *Server) countHit(src tier) {
+	s.met.cacheHits.Add(1)
+	if src == tierDisk {
+		s.met.cacheDiskHits.Add(1)
+	}
+}
+
 // lead executes a flight's simulation as its leader.
-func (s *Server) lead(key string, job allarm.Job) (*allarm.Result, error) {
+func (s *Server) lead(ctx context.Context, key string, job allarm.Job) (*allarm.Result, error) {
 	// Re-check the cache: the flight we would have followed may have
 	// finished between our cache probe and taking leadership.
-	if res, ok := s.cache.Get(key); ok {
-		s.met.cacheHits.Add(1)
+	if res, src := s.cache.Get(key); src != tierNone {
+		s.countHit(src)
 		return res, nil
 	}
 	select {
 	case s.sem <- struct{}{}:
-	case <-s.ctx.Done():
-		return nil, s.ctx.Err()
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 	defer func() { <-s.sem }()
 
 	s.met.cacheMisses.Add(1)
 	start := time.Now()
-	res, err := s.runJob(job)
+	res, err := s.runJob(ctx, job)
 	s.met.jobsRun.Add(1)
 	if err != nil {
-		s.met.jobErrors.Add(1)
-		return nil, err
+		switch {
+		case !allarm.IsCancellation(err):
+			s.met.jobErrors.Add(1)
+		case res != nil:
+			// Counted here, at the one simulation the flight actually
+			// interrupted — coalesced followers sharing the partial
+			// result must not inflate the metric.
+			s.met.jobsAborted.Add(1)
+		}
+		// An aborted job's partial result travels with its error so the
+		// sweep can checkpoint it — but it is never cached: only
+		// complete results are content-addressed.
+		return res, err
 	}
 	s.met.simEvents.Add(res.Events)
 	s.met.simWallNs.Add(uint64(time.Since(start).Nanoseconds()))
-	s.cache.Add(key, res)
+	if err := s.cache.Add(key, res); err != nil {
+		s.logf("result store: %s: %v", key, err)
+	}
 	return res, nil
 }
 
@@ -443,7 +685,41 @@ func (s *Server) lookup(id string) *sweepState {
 	return s.sweeps[id]
 }
 
+// handleDelete evicts a finished sweep from the job store — its state,
+// persisted spec and checkpoint. Running sweeps are not deletable
+// (409): cancel-by-delete would complicate drain semantics for little
+// gain. The content-addressed result cache is untouched, so deleting a
+// sweep never costs a future submission its cache hits.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st := s.sweeps[id]
+	if st == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+		return
+	}
+	if !st.terminal() {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is still running; only finished sweeps can be deleted", id))
+		return
+	}
+	delete(s.sweeps, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.removeSweepFiles(id)
+	s.met.sweepsDeleted.Add(1)
+	s.logf("sweep %s: deleted", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.evictExpired()
 	s.mu.Lock()
 	states := make([]*sweepState, 0, len(s.order))
 	for _, id := range s.order {
@@ -630,10 +906,48 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.met.tracesUploaded.Add(1)
 		s.logf("trace %s: %d bytes, %d threads", id, len(data), wl.Threads())
+		if s.traceDir != "" {
+			// Persist the raw bytes so "trace:ID" specs survive restarts
+			// (the id is the content hash, so the file is immutable).
+			if err := atomicWrite(filepath.Join(s.traceDir, id), data); err != nil {
+				s.logf("trace %s: persist: %v", id, err)
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, TraceResponse{ID: id, Workload: "trace:" + id, Threads: wl.Threads()})
+}
+
+// loadTraceFromDisk re-parses a persisted trace upload and re-installs
+// it in the in-memory store. Returns nil when the trace is unknown (or
+// no trace directory is configured).
+func (s *Server) loadTraceFromDisk(id string) allarm.Workload {
+	if s.traceDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.traceDir, id))
+	if err != nil {
+		return nil
+	}
+	wl, err := allarm.ReadTraceNamed(bytes.NewReader(data), id)
+	if err != nil {
+		s.logf("trace %s: reload: %v", id, err)
+		return nil
+	}
+	s.mu.Lock()
+	if cur, ok := s.traces[id]; ok {
+		wl = cur
+	} else {
+		s.traces[id] = wl
+		s.traceIDs = append(s.traceIDs, id)
+		for len(s.traceIDs) > maxTraces {
+			delete(s.traces, s.traceIDs[0])
+			s.traceIDs = s.traceIDs[1:]
+		}
+	}
+	s.mu.Unlock()
+	return wl
 }
 
 func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
@@ -665,24 +979,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wallNs > 0 {
 		perSec = float64(events) / (float64(wallNs) / 1e9)
 	}
-	writeJSON(w, Metrics{
+	m := Metrics{
 		UptimeSeconds:      time.Since(s.start).Seconds(),
 		Draining:           draining,
 		SweepsSubmitted:    s.met.sweepsSubmitted.Load(),
 		SweepsActive:       uint64(actives),
 		SweepsCompleted:    s.met.sweepsCompleted.Load(),
 		SweepsCheckpointed: s.met.sweepsCheckpointed.Load(),
+		SweepsRecovered:    s.met.sweepsRecovered.Load(),
+		SweepsDeleted:      s.met.sweepsDeleted.Load(),
+		SweepsExpired:      s.met.sweepsExpired.Load(),
 		JobsRun:            s.met.jobsRun.Load(),
+		JobsAborted:        s.met.jobsAborted.Load(),
 		JobErrors:          s.met.jobErrors.Load(),
 		CacheHits:          s.met.cacheHits.Load(),
+		CacheDiskHits:      s.met.cacheDiskHits.Load(),
 		CacheMisses:        s.met.cacheMisses.Load(),
 		InflightCoalesced:  s.met.coalesced.Load(),
-		CacheEntries:       s.cache.Len(),
-		CacheCapacity:      s.cache.cap,
+		CacheEntries:       s.cache.lru.Len(),
+		CacheCapacity:      s.cache.lru.cap,
 		TracesUploaded:     s.met.tracesUploaded.Load(),
 		SimEventsTotal:     events,
 		SimEventsPerSec:    perSec,
-	})
+	}
+	if s.cache.disk != nil {
+		m.DiskEntries = s.cache.disk.Len()
+	}
+	writeJSON(w, m)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

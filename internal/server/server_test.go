@@ -21,7 +21,10 @@ import (
 // newTestServer starts the daemon behind an httptest server.
 func newTestServer(t *testing.T, opts Options) (*Server, string) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -214,7 +217,7 @@ func TestConcurrentIdenticalSweepsRunOnce(t *testing.T) {
 	var runs atomic.Int64
 	s, base := newTestServer(t, Options{
 		Workers: 4,
-		RunJob: func(j allarm.Job) (*allarm.Result, error) {
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
 			runs.Add(1)
 			<-gate
 			return &allarm.Result{Benchmark: j.WorkloadName(), PolicyUsed: j.Config.Policy, RuntimeNs: 42, Events: 7}, nil
@@ -271,7 +274,7 @@ func TestCacheLRUBound(t *testing.T) {
 	_, base := newTestServer(t, Options{
 		Workers:      1,
 		CacheEntries: 1,
-		RunJob: func(j allarm.Job) (*allarm.Result, error) {
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
 			runs.Add(1)
 			return &allarm.Result{Benchmark: j.WorkloadName(), PolicyUsed: j.Config.Policy}, nil
 		},
@@ -459,7 +462,7 @@ func TestResultsConflictWhileRunning(t *testing.T) {
 	gate := make(chan struct{})
 	_, base := newTestServer(t, Options{
 		Workers: 1,
-		RunJob: func(j allarm.Job) (*allarm.Result, error) {
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
 			<-gate
 			return &allarm.Result{Benchmark: j.WorkloadName()}, nil
 		},
@@ -504,7 +507,7 @@ func TestSubmitValidation(t *testing.T) {
 func TestResultsUnknownFormat(t *testing.T) {
 	_, base := newTestServer(t, Options{
 		Workers: 1,
-		RunJob: func(j allarm.Job) (*allarm.Result, error) {
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
 			return &allarm.Result{Benchmark: j.WorkloadName()}, nil
 		},
 	})
@@ -522,7 +525,7 @@ func TestDrainCheckpointsPartialResults(t *testing.T) {
 	s, base := newTestServer(t, Options{
 		Workers:       1,
 		CheckpointDir: dir,
-		RunJob: func(j allarm.Job) (*allarm.Result, error) {
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
 			<-gate
 			return &allarm.Result{Benchmark: j.WorkloadName(), PolicyUsed: j.Config.Policy, RuntimeNs: 1}, nil
 		},
@@ -588,7 +591,7 @@ func TestDrainCheckpointsPartialResults(t *testing.T) {
 func TestListSweeps(t *testing.T) {
 	_, base := newTestServer(t, Options{
 		Workers: 1,
-		RunJob: func(j allarm.Job) (*allarm.Result, error) {
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
 			return &allarm.Result{Benchmark: j.WorkloadName()}, nil
 		},
 	})

@@ -23,12 +23,22 @@ const (
 	StatusCheckpointed = "checkpointed"
 )
 
-// Per-job states within a sweep.
+// Per-job states within a sweep. A drain-time cancellation produces two
+// distinct terminal states: "aborted" for a job whose simulation was
+// interrupted mid-run (its record carries the partial metrics, and the
+// checkpoint NDJSON row carries "aborted":true — the two surfaces
+// always agree), and "skipped" for a job whose simulation never ran —
+// whether the cancellation reached it in the queue, blocked on the
+// worker pool, or waiting on a coalesced flight. Both re-enqueue
+// cleanly after a restart; "error" is reserved for simulations that
+// actually failed.
 const (
 	JobPending = "pending"
 	JobRunning = "running"
 	JobDone    = "done"
 	JobError   = "error"
+	JobAborted = "aborted"
+	JobSkipped = "skipped"
 )
 
 // JobView is the per-job progress record in sweep status responses.
@@ -45,9 +55,15 @@ type SweepView struct {
 	ID      string    `json:"id"`
 	Status  string    `json:"status"`
 	Created time.Time `json:"created"`
-	Total   int       `json:"total"`
-	Done    int       `json:"done"`
-	Jobs    []JobView `json:"jobs"`
+	// Finished is when the sweep reached a terminal state (done or
+	// checkpointed); the -retain TTL counts from it. Zero while running.
+	Finished time.Time `json:"finished,omitzero"`
+	// Recovered marks a sweep re-enqueued from the cache directory at
+	// boot rather than submitted over the API in this daemon's lifetime.
+	Recovered bool      `json:"recovered,omitempty"`
+	Total     int       `json:"total"`
+	Done      int       `json:"done"`
+	Jobs      []JobView `json:"jobs"`
 }
 
 // event is one SSE frame of a sweep's progress stream: Type becomes the
@@ -81,19 +97,21 @@ type sweepEvent struct {
 // sweepState is one submitted sweep: its spec, live progress, event
 // history and (once finished) its results.
 type sweepState struct {
-	id      string
-	created time.Time
-	sweep   *allarm.Sweep
-	total   int
+	id        string
+	created   time.Time
+	sweep     *allarm.Sweep
+	total     int
+	recovered bool // re-enqueued from disk at boot
 
-	mu       sync.Mutex
-	status   string
-	jobs     []JobView
-	done     int
-	results  []allarm.SweepResult
-	history  []event
-	subs     map[chan struct{}]struct{}
-	finished chan struct{} // closed when results are final
+	mu         sync.Mutex
+	status     string
+	jobs       []JobView
+	done       int
+	results    []allarm.SweepResult
+	finishedAt time.Time // when the sweep reached a terminal state
+	history    []event
+	subs       map[chan struct{}]struct{}
+	finished   chan struct{} // closed when results are final
 }
 
 func newSweepState(id string, s *allarm.Sweep, now time.Time) *sweepState {
@@ -146,16 +164,31 @@ func (st *sweepState) jobStarted(i int) {
 	st.publish("job", st.jobEventLocked(i))
 }
 
-// jobFinished records job i's outcome (the Runner.JobDone hook).
+// jobFinished records job i's outcome (the Runner.JobDone hook),
+// distinguishing mid-run aborts from never-started skips on
+// cancellation.
 func (st *sweepState) jobFinished(i int, r allarm.SweepResult) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.done++
-	if r.Err != nil {
+	switch {
+	case r.Err == nil:
+		st.jobs[i].Status = JobDone
+	case allarm.IsCancellation(r.Err):
+		// Aborted iff a partial result exists — the same predicate the
+		// emitters use for the checkpoint's "aborted" flag, so the
+		// status endpoint and the NDJSON never disagree. A started-but-
+		// never-simulating job (blocked on the pool or a flight) is
+		// skipped: no simulation was interrupted.
+		if r.Aborted() {
+			st.jobs[i].Status = JobAborted
+		} else {
+			st.jobs[i].Status = JobSkipped
+		}
+		st.jobs[i].Error = r.Err.Error()
+	default:
 		st.jobs[i].Status = JobError
 		st.jobs[i].Error = r.Err.Error()
-	} else {
-		st.jobs[i].Status = JobDone
 	}
 	st.publish("job", st.jobEventLocked(i))
 }
@@ -175,6 +208,7 @@ func (st *sweepState) finish(results []allarm.SweepResult, checkpointed bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.results = results
+	st.finishedAt = time.Now()
 	if checkpointed {
 		st.status = StatusCheckpointed
 	} else {
@@ -192,8 +226,24 @@ func (st *sweepState) view() SweepView {
 	copy(jobs, st.jobs)
 	return SweepView{
 		ID: st.id, Status: st.status, Created: st.created,
+		Finished: st.finishedAt, Recovered: st.recovered,
 		Total: st.total, Done: st.done, Jobs: jobs,
 	}
+}
+
+// expired reports whether the sweep reached a terminal state before
+// cutoff (the -retain eviction predicate). Running sweeps never expire.
+func (st *sweepState) expired(cutoff time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return !st.finishedAt.IsZero() && st.finishedAt.Before(cutoff)
+}
+
+// terminal reports whether the sweep has reached a final state.
+func (st *sweepState) terminal() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.status == StatusDone || st.status == StatusCheckpointed
 }
 
 // snapshot returns the final results, or ok == false while the sweep is

@@ -1,8 +1,139 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
+
+// selfScheduler keeps one event in the queue forever, modelling a
+// simulation that never runs dry on its own.
+type selfScheduler struct {
+	e     *Engine
+	fired int
+}
+
+func (s *selfScheduler) Handle(now Time) {
+	s.fired++
+	s.e.Schedule(now+1, s)
+}
+
+// TestRunCtxBackgroundMatchesRun: a non-cancellable context takes the
+// plain Run path — same events, same Now, nil error.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	var a, b Engine
+	for i := 0; i < 100; i++ {
+		at := Time(i)
+		a.At(at, func(Time) {})
+		b.At(at, func(Time) {})
+	}
+	na := a.Run(0)
+	nb, err := b.RunCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || a.Now() != b.Now() {
+		t.Fatalf("RunCtx(Background) fired %d events to t=%v, Run fired %d to t=%v", nb, b.Now(), na, a.Now())
+	}
+}
+
+// TestRunCtxCancelWithinBudget: cancelling mid-run stops the loop after
+// at most CancelCheckBudget further events, with the error reporting
+// the cause and the queue keeping its unfired events.
+func TestRunCtxCancelWithinBudget(t *testing.T) {
+	var e Engine
+	s := &selfScheduler{e: &e}
+	e.Schedule(1, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first budget boundary
+	fired, err := e.RunCtx(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired > CancelCheckBudget {
+		t.Fatalf("fired %d events after cancellation, budget is %d", fired, CancelCheckBudget)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("cancellation drained the queue; unfired events must stay queued")
+	}
+}
+
+// TestRunCtxCancelFromEvent: a cancellation raised by a running event
+// (the realistic drain case: another goroutine cancels) is observed at
+// the next budget boundary.
+func TestRunCtxCancelFromEvent(t *testing.T) {
+	var e Engine
+	s := &selfScheduler{e: &e}
+	e.Schedule(1, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := CancelCheckBudget / 2
+	e.At(Time(stop), func(Time) { cancel() })
+	fired, err := e.RunCtx(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if bound := uint64(stop) + CancelCheckBudget + 1; fired > bound {
+		t.Fatalf("fired %d events, want <= %d (cancel point + one budget)", fired, bound)
+	}
+	if s.fired == 0 {
+		t.Fatal("no events fired before cancellation")
+	}
+}
+
+// TestRunCtxResumeAfterCancel: the engine stays consistent after a
+// cancelled run — re-running with a fresh context finishes the queue.
+func TestRunCtxResumeAfterCancel(t *testing.T) {
+	var e Engine
+	const total = 10 * CancelCheckBudget
+	var fired int
+	for i := 1; i <= total; i++ {
+		e.At(Time(i), func(Time) { fired++ })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.RunCtx(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != total || e.Pending() != 0 {
+		t.Fatalf("fired %d of %d events, %d pending", fired, total, e.Pending())
+	}
+	if e.Now() != total {
+		t.Fatalf("Now = %v, want %d", e.Now(), total)
+	}
+}
+
+// TestRunUntilCtxCancel: RunUntilCtx honours cancellation and does not
+// jump Now to the deadline on an aborted run.
+func TestRunUntilCtxCancel(t *testing.T) {
+	var e Engine
+	s := &selfScheduler{e: &e}
+	e.Schedule(1, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const deadline = Time(1 << 40)
+	fired, err := e.RunUntilCtx(ctx, deadline)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fired > CancelCheckBudget {
+		t.Fatalf("fired %d events after cancellation, budget is %d", fired, CancelCheckBudget)
+	}
+	if e.Now() >= deadline {
+		t.Fatalf("Now = %v jumped to the deadline on a cancelled run", e.Now())
+	}
+	// And with a background context it behaves exactly like RunUntil.
+	var f Engine
+	f.At(5, func(Time) {})
+	if _, err := f.RunUntilCtx(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Now() != 100 {
+		t.Fatalf("Now = %v, want deadline 100", f.Now())
+	}
+}
 
 func TestEventOrdering(t *testing.T) {
 	var e Engine
@@ -422,5 +553,27 @@ func BenchmarkEngineChurn(b *testing.B) {
 			e.Schedule(e.Now()+Time(j), &handlers[j])
 		}
 		e.Run(0)
+	}
+}
+
+// BenchmarkEngineChurnCancellable is BenchmarkEngineChurn through
+// RunCtx with a genuinely cancellable context: the budgeted
+// cancellation poll must add no per-event allocations (and no
+// measurable per-event time) over the plain Run loop.
+func BenchmarkEngineChurnCancellable(b *testing.B) {
+	const width = 1024
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var e Engine
+	handlers := make([]churnHandler, width)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range handlers {
+			handlers[j] = churnHandler{e: &e, remaining: 64}
+			e.Schedule(e.Now()+Time(j), &handlers[j])
+		}
+		if _, err := e.RunCtx(ctx, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

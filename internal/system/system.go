@@ -7,6 +7,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"allarm/internal/cache"
@@ -288,8 +289,20 @@ type RunResult struct {
 
 // Run executes the given threads to completion and returns the collected
 // statistics. It returns an error when the event budget is exceeded or a
-// post-run invariant fails.
+// post-run invariant fails. It is RunCtx with a background context.
 func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
+	return m.RunCtx(context.Background(), threads)
+}
+
+// RunCtx executes the given threads to completion, checking ctx for
+// cancellation every sim.CancelCheckBudget events (see sim.RunCtx; a
+// non-cancellable context costs nothing). On cancellation it returns
+// the statistics collected so far — a well-formed partial RunResult
+// whose per-thread times are clamped to the abort instant — together
+// with an error wrapping ctx's error, so callers can checkpoint
+// sub-run progress. It also returns an error when the event budget is
+// exceeded or a post-run invariant fails.
+func (m *Machine) RunCtx(ctx context.Context, threads []ThreadSpec) (*RunResult, error) {
 	if len(threads) == 0 {
 		return nil, fmt.Errorf("system: no threads to run")
 	}
@@ -322,7 +335,14 @@ func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
 			m.cpus = append(m.cpus, c)
 			m.eng.At(m.eng.Now()+sim.Time(i)*100*sim.Picosecond, c.stepFn)
 		}
-		fired := m.eng.Run(m.cfg.MaxEvents)
+		fired, cerr := m.eng.RunCtx(ctx, m.cfg.MaxEvents)
+		if cerr != nil {
+			// Cancelled during warmup: no measured region exists yet, so
+			// the partial result is empty-but-well-formed (zero times, the
+			// warmup's component counters).
+			m.roiStart = m.eng.Now()
+			return m.collect(), fmt.Errorf("system: cancelled during warmup at t=%v: %w", m.eng.Now(), cerr)
+		}
 		if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
 			return nil, fmt.Errorf("system: event budget exhausted during warmup at t=%v", m.eng.Now())
 		}
@@ -343,7 +363,12 @@ func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
 		m.eng.At(roiStart+sim.Time(i)*100*sim.Picosecond, c.stepFn)
 	}
 
-	fired := m.eng.Run(m.cfg.MaxEvents)
+	fired, cerr := m.eng.RunCtx(ctx, m.cfg.MaxEvents)
+	if cerr != nil {
+		m.roiStart = roiStart
+		return m.collect(), fmt.Errorf("system: cancelled at t=%v with %d threads in flight: %w",
+			m.eng.Now(), len(m.cpus), cerr)
+	}
 	if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
 		return nil, fmt.Errorf("system: event budget %d exhausted at t=%v (possible deadlock)", m.cfg.MaxEvents, m.eng.Now())
 	}
@@ -378,9 +403,22 @@ func (m *Machine) collect() *RunResult {
 	res := &RunResult{Events: m.eng.Fired()}
 	for _, c := range m.cpus {
 		res.Accesses += c.issued
-		res.PerThreadTime = append(res.PerThreadTime, c.finished-m.roiStart)
-		if c.finished-m.roiStart > res.Time {
-			res.Time = c.finished - m.roiStart
+		// A thread still in flight (cancelled run) has no completion
+		// timestamp; clamp it to the abort instant. A thread that
+		// finished before the measured region began (cancellation during
+		// warmup, where roiStart is the abort instant) clamps to zero.
+		// Either way partial results stay well-formed: monotone,
+		// non-negative times.
+		end := c.finished
+		if !c.done {
+			end = m.eng.Now()
+		}
+		if end < m.roiStart {
+			end = m.roiStart
+		}
+		res.PerThreadTime = append(res.PerThreadTime, end-m.roiStart)
+		if end-m.roiStart > res.Time {
+			res.Time = end - m.roiStart
 		}
 	}
 	for _, n := range m.nodes {

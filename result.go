@@ -20,6 +20,13 @@ type Result struct {
 	// with wall-clock time it gives the simulator's events/sec throughput
 	// (the benchmark suite's headline metric).
 	Events uint64
+	// Partial marks a result collected from a cancelled run (RunCtx with
+	// an expiring context): the metrics cover only the events fired up to
+	// the abort instant, with in-flight threads clamped to it. Partial
+	// results are well-formed but are never cached or compared against
+	// complete runs; re-running the same job from a clean start yields
+	// the bit-identical complete result.
+	Partial bool `json:",omitempty"`
 
 	// PFEvictions is the machine-wide count of probe-filter entry
 	// evictions (Figure 3b).

@@ -72,8 +72,19 @@ func DescribeBenchmarks() []BenchmarkInfo {
 // access) and access streams; cfg.Threads and cfg.AccessesPerThread only
 // scale the benchmark presets and are ignored here. Thread i is pinned
 // to node i mod cfg.Nodes and pages are pre-placed per the workload's
-// ForEachPage declaration.
+// ForEachPage declaration. Run is RunCtx with a background context.
 func Run(cfg Config, wl Workload) (*Result, error) {
+	return RunCtx(context.Background(), cfg, wl)
+}
+
+// RunCtx is Run with cancellation: the simulation polls ctx once per
+// sim.CancelCheckBudget events (amortised to nothing — a background
+// context costs literally zero) and aborts within one budget of ctx
+// expiring. A cancelled run returns both a non-nil partial Result
+// (Partial == true, metrics covering the events fired so far) and an
+// error satisfying errors.Is(err, ctx.Err()), so callers can checkpoint
+// sub-run progress while still treating the job as unfinished.
+func RunCtx(ctx context.Context, cfg Config, wl Workload) (*Result, error) {
 	if wl == nil {
 		return nil, fmt.Errorf("allarm: Run needs a workload (see BenchmarkWorkload, LoadTrace, NewWorkload)")
 	}
@@ -84,7 +95,7 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, fmt.Errorf("allarm: workload %q has %d threads; the machine supports [1,%d]",
 			wl.Name(), n, cfg.Nodes)
 	}
-	return runWorkload(cfg, wl)
+	return runWorkloadCtx(ctx, cfg, wl)
 }
 
 // RunBenchmark simulates one named benchmark preset under cfg (scaled by
@@ -92,6 +103,11 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 // the compatibility shim over Run: output is byte-identical to the
 // pre-Workload-API Run(cfg, benchmark).
 func RunBenchmark(cfg Config, benchmark string) (*Result, error) {
+	return RunBenchmarkCtx(context.Background(), cfg, benchmark)
+}
+
+// RunBenchmarkCtx is RunBenchmark with cancellation (see RunCtx).
+func RunBenchmarkCtx(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,12 +115,12 @@ func RunBenchmark(cfg Config, benchmark string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runWorkload(cfg, wl)
+	return runWorkloadCtx(ctx, cfg, wl)
 }
 
-// runWorkload builds a machine, places the workload's pages, pins thread
-// i to node i mod Nodes, and runs to completion.
-func runWorkload(cfg Config, wl Workload) (*Result, error) {
+// runWorkloadCtx builds a machine, places the workload's pages, pins
+// thread i to node i mod Nodes, and runs to completion or cancellation.
+func runWorkloadCtx(ctx context.Context, cfg Config, wl Workload) (*Result, error) {
 	sysCfg, err := cfg.systemConfig()
 	if err != nil {
 		return nil, err
@@ -132,9 +148,18 @@ func runWorkload(cfg Config, wl Workload) (*Result, error) {
 		}
 		threads = append(threads, spec)
 	}
-	rr, err := m.Run(threads)
+	rr, err := m.RunCtx(ctx, threads)
 	if err != nil {
-		return nil, fmt.Errorf("allarm: %s (%v): %w", wl.Name(), cfg.Policy, err)
+		err = fmt.Errorf("allarm: %s (%v): %w", wl.Name(), cfg.Policy, err)
+		// A cancelled run still yields the partial statistics the machine
+		// collected; other failures (validation, deadlock, a post-run
+		// invariant) have no usable partial result.
+		if rr != nil && IsCancellation(err) {
+			res := newResult(wl.Name(), cfg.Policy, rr)
+			res.Partial = true
+			return res, err
+		}
+		return nil, err
 	}
 	return newResult(wl.Name(), cfg.Policy, rr), nil
 }
@@ -186,6 +211,11 @@ func DefaultMultiProcess() MultiProcessConfig {
 // benchmark (coordinated to start together, as in the paper) and returns
 // combined metrics. Runtime is the completion time of the slower copy.
 func RunMultiProcess(cfg Config, mp MultiProcessConfig, benchmark string) (*Result, error) {
+	return RunMultiProcessCtx(context.Background(), cfg, mp, benchmark)
+}
+
+// RunMultiProcessCtx is RunMultiProcess with cancellation (see RunCtx).
+func RunMultiProcessCtx(ctx context.Context, cfg Config, mp MultiProcessConfig, benchmark string) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -250,9 +280,15 @@ func RunMultiProcess(cfg Config, mp MultiProcessConfig, benchmark string) (*Resu
 			Name:   fmt.Sprintf("%s/p%d", benchmark, c),
 		})
 	}
-	rr, err := m.Run(threads)
+	rr, err := m.RunCtx(ctx, threads)
 	if err != nil {
-		return nil, fmt.Errorf("allarm: multi-process %s (%v): %w", benchmark, cfg.Policy, err)
+		err = fmt.Errorf("allarm: multi-process %s (%v): %w", benchmark, cfg.Policy, err)
+		if rr != nil && IsCancellation(err) {
+			res := newResult(benchmark, cfg.Policy, rr)
+			res.Partial = true
+			return res, err
+		}
+		return nil, err
 	}
 	return newResult(benchmark, cfg.Policy, rr), nil
 }

@@ -2,6 +2,7 @@ package allarm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,15 +30,31 @@ type Job struct {
 	MultiProcess *MultiProcessConfig
 }
 
-// Run executes the job and returns its metrics.
-func (j Job) Run() (*Result, error) {
+// Run executes the job and returns its metrics. It is RunCtx with a
+// background context.
+func (j Job) Run() (*Result, error) { return j.RunCtx(context.Background()) }
+
+// RunCtx executes the job under ctx: the simulation aborts within one
+// sim.CancelCheckBudget of events after ctx expires, returning the
+// partial Result (Partial == true) together with the cancellation
+// error. See RunCtx for the underlying contract.
+func (j Job) RunCtx(ctx context.Context) (*Result, error) {
 	if j.Workload != nil {
-		return Run(j.Config, j.Workload)
+		return RunCtx(ctx, j.Config, j.Workload)
 	}
 	if j.MultiProcess != nil {
-		return RunMultiProcess(j.Config, *j.MultiProcess, j.Benchmark)
+		return RunMultiProcessCtx(ctx, j.Config, *j.MultiProcess, j.Benchmark)
 	}
-	return RunBenchmark(j.Config, j.Benchmark)
+	return RunBenchmarkCtx(ctx, j.Config, j.Benchmark)
+}
+
+// IsCancellation reports whether err stems from a cancelled or expired
+// context — the errors RunCtx, Job.RunCtx and Runner.Run attach to jobs
+// that were aborted mid-simulation or skipped before starting. It is
+// how consumers (allarm-serve's per-job status, emitters, harnesses)
+// distinguish "the machine said no" from "the simulation failed".
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // WorkloadName returns the name identifying the job's workload: the
@@ -173,13 +190,23 @@ func (s *Sweep) Dedup() *Sweep {
 	return s
 }
 
-// SweepResult pairs one job of a sweep with its outcome: exactly one of
-// Result and Err is non-nil (except for jobs skipped by cancellation,
-// which carry the context's error).
+// SweepResult pairs one job of a sweep with its outcome. A completed
+// job has Result set and Err nil; a failed job has Err set and Result
+// nil; a job skipped by cancellation before starting carries the
+// context's error alone; and a job aborted mid-simulation carries both
+// the cancellation error (IsCancellation(Err) == true) and the partial
+// Result (Result.Partial == true) its machine had accumulated.
 type SweepResult struct {
 	Job    Job
 	Result *Result
 	Err    error
+}
+
+// Aborted reports whether the job was cancelled mid-simulation, leaving
+// a well-formed partial Result behind (as opposed to being skipped
+// before it started, or failing outright).
+func (r SweepResult) Aborted() bool {
+	return r.Err != nil && r.Result != nil && IsCancellation(r.Err)
 }
 
 // Runner executes sweeps over a worker pool. The zero value is ready to
@@ -204,21 +231,25 @@ type Runner struct {
 	// consumers that need the spec index — like allarm-serve's per-job
 	// status — subscribe to.
 	JobDone func(index, total int, r SweepResult)
-	// Exec, when non-nil, executes each job in place of Job.Run — the
+	// Exec, when non-nil, executes each job in place of Job.RunCtx — the
 	// seam for layering a result cache, in-flight deduplication or
 	// remote execution under a sweep (allarm-serve's content-addressed
 	// cache plugs in here). Exec must be safe for concurrent calls and
-	// must preserve Job.Run's contract: what it returns for a job must
-	// equal what Job.Run would produce.
-	Exec func(Job) (*Result, error)
+	// must preserve Job.RunCtx's contract: what it returns for a job
+	// must equal what Job.RunCtx would produce. The context is the one
+	// Runner.Run was given; honouring it is what lets a drain abort a
+	// simulation mid-run instead of waiting it out.
+	Exec func(ctx context.Context, j Job) (*Result, error)
 }
 
 // Run executes every job of the sweep and returns the results in spec
 // order, regardless of completion order. One job failing does not stop
 // the others: per-job errors are recorded in the corresponding
-// SweepResult (see FirstError). Cancelling ctx stops the sweep promptly;
-// jobs not yet started report ctx's error, and Run's own error is ctx's
-// error (nil on a completed sweep).
+// SweepResult (see FirstError). Cancelling ctx stops the sweep promptly:
+// jobs not yet started report ctx's error alone, jobs already executing
+// abort within one sim.CancelCheckBudget of events and report the error
+// together with their partial Result (see SweepResult.Aborted), and
+// Run's own error is ctx's error (nil on a completed sweep).
 func (r *Runner) Run(ctx context.Context, s *Sweep) ([]SweepResult, error) {
 	jobs := s.Jobs
 	out := make([]SweepResult, len(jobs))
@@ -253,7 +284,7 @@ func (r *Runner) Run(ctx context.Context, s *Sweep) ([]SweepResult, error) {
 	}
 	exec := r.Exec
 	if exec == nil {
-		exec = Job.Run
+		exec = func(ctx context.Context, j Job) (*Result, error) { return j.RunCtx(ctx) }
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -271,7 +302,7 @@ func (r *Runner) Run(ctx context.Context, s *Sweep) ([]SweepResult, error) {
 				if r.Start != nil {
 					r.Start(i, len(jobs), jobs[i])
 				}
-				res, err := exec(jobs[i])
+				res, err := exec(ctx, jobs[i])
 				finish(i, SweepResult{Job: jobs[i], Result: res, Err: err})
 			}
 		}()
