@@ -83,8 +83,13 @@ func run() int {
 		benchJSON  = flag.Bool("benchjson", false, "measure the simulator on the fixed benchmark matrix and emit a BENCH_*.json snapshot")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("allarm-bench", allarm.Version)
+		return 0
+	}
 
 	cfg := allarm.ExperimentConfig()
 	if *fullScale {

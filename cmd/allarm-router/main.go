@@ -1,0 +1,150 @@
+// Command allarm-router fronts a fleet of allarm-serve shards with the
+// same sweep API a single daemon speaks. It is stateless by design:
+// jobs are consistent-hashed onto shards by the same content key the
+// shards cache under, so identical jobs always land where their result
+// is already warm, and a router restart (or a second router beside the
+// first) loses nothing.
+//
+// Usage:
+//
+//	allarm-router -shards http://s1:8347,http://s2:8347
+//	allarm-router -addr :8350 -shards ... -shard-token fleet-secret
+//	allarm-router -auth tokens.json       # client-facing bearer auth
+//	allarm-router -health-interval 5s -fail-after 3
+//	allarm-router -attempts 4 -retry-backoff 250ms
+//
+// A sweep submitted here is expanded exactly as a single daemon would
+// expand it, scattered to the owning shards as explicit job lists,
+// and gathered back in submission order — every emitter (json, ndjson,
+// csv, table) renders byte-identically to a single-node run. Shards
+// are health-checked and routed around; a shard lost mid-sweep
+// degrades that sweep's jobs to "skipped" rather than failing the
+// gather. GET /metrics reports per-shard request, retry and unhealthy
+// interval counters.
+//
+// See the "Fleet serving" section of README.md for a two-shard
+// quickstart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	allarm "allarm"
+	"allarm/internal/fleet"
+	"allarm/internal/server"
+)
+
+// main only translates run's status into an exit code so run's defers
+// execute on every path, including signal-driven shutdown.
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8350", "listen address (host:port; port 0 picks one)")
+		shards     = flag.String("shards", "", "comma-separated allarm-serve base URLs (required)")
+		shardToken = flag.String("shard-token", "", "bearer token the router presents to shards")
+		authFile   = flag.String("auth", "", "JSON file of client tokens (bearer auth, rate limits, job quotas)")
+		replicas   = flag.Int("replicas", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		healthIvl  = flag.Duration("health-interval", 0, "shard health probe interval (0 = default 2s)")
+		failAfter  = flag.Int("fail-after", 0, "consecutive probe failures before a shard is excluded (0 = default 2)")
+		attempts   = flag.Int("attempts", 0, "attempts per shard request before giving up (0 = default 3)")
+		backoff    = flag.Duration("retry-backoff", 0, "base backoff between retries, doubled per attempt (0 = default 100ms)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request timeout against shards (0 = default 30s)")
+		version    = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("allarm-router", allarm.Version)
+		return 0
+	}
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "allarm-router: -shards is required (comma-separated allarm-serve URLs)")
+		return 2
+	}
+	var shardList []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shardList = append(shardList, s)
+		}
+	}
+
+	opts := fleet.Options{
+		Shards:         shardList,
+		ShardToken:     *shardToken,
+		Replicas:       *replicas,
+		HealthInterval: *healthIvl,
+		FailAfter:      *failAfter,
+		Attempts:       *attempts,
+		RetryBackoff:   *backoff,
+		RequestTimeout: *reqTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "allarm-router: "+format+"\n", args...)
+		},
+	}
+	if *authFile != "" {
+		guard, err := server.LoadGuard(*authFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-router:", err)
+			return 1
+		}
+		opts.Guard = guard
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rt, err := fleet.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-router:", err)
+		return 1
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-router:", err)
+		return 1
+	}
+	// The resolved address goes to stdout so scripts starting the router
+	// on an ephemeral port (-addr :0) can discover where it listens.
+	fmt.Printf("allarm-router: listening on http://%s, %d shard(s)\n", ln.Addr(), len(shardList))
+
+	// ReadHeaderTimeout bounds slow-loris header dribble; IdleTimeout
+	// reaps abandoned keep-alive connections. No overall write timeout:
+	// /events streams for as long as a sweep runs.
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "allarm-router:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out shutdown
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-router:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "allarm-router: bye")
+	return 0
+}

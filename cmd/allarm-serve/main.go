@@ -10,6 +10,10 @@
 //	allarm-serve -parallel 4 -cache 4096
 //	allarm-serve -cache-dir /var/lib/allarm -retain 24h
 //	allarm-serve -checkpoint /var/lib/allarm -grace 60s
+//	allarm-serve -auth tokens.json            # bearer-token multi-tenancy
+//	allarm-serve -result-store http://store:8360/v1/objects
+//	allarm-serve -object-serve                # serve this node's results
+//	                                          # as the fleet object store
 //
 // Endpoints:
 //
@@ -26,6 +30,9 @@
 //	                                reference it as "trace:<id>"
 //	GET    /v1/policies             registered directory policies
 //	GET    /v1/benchmarks           benchmark presets
+//	GET    /v1/version              build version (fleet skew checks)
+//	GET    /v1/objects/             S3-style shared result store
+//	                                (with -object-serve)
 //	GET    /healthz                 liveness (reports draining)
 //	GET    /metrics                 counters: jobs run, cache hits
 //	                                (memory/disk), recoveries, aborts
@@ -46,7 +53,8 @@
 // <sweep-id>.ndjson under -checkpoint or <cache-dir>/checkpoints).
 //
 // See the "Durability & cancellation" section of README.md for the
-// cache-dir layout, checkpoint format and drain semantics.
+// cache-dir layout, checkpoint format and drain semantics, and the
+// "Fleet serving" section for running shards behind allarm-router.
 package main
 
 import (
@@ -57,9 +65,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	allarm "allarm"
 	"allarm/internal/server"
 )
 
@@ -78,13 +89,22 @@ func run() int {
 		retain     = flag.Duration("retain", 0, "evict finished sweeps this long after completion (0 = keep forever)")
 		checkpoint = flag.String("checkpoint", "", "directory for drain-time partial-result checkpoints (default <cache-dir>/checkpoints)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight sweeps are cancelled")
+		authFile   = flag.String("auth", "", "JSON file of client tokens (bearer auth, rate limits, job quotas)")
+		storeBase  = flag.String("result-store", "", "result store: an http(s) object endpoint or a directory (overrides <cache-dir>/results)")
+		storeToken = flag.String("result-store-token", "", "bearer token for an http(s) -result-store")
+		objServe   = flag.Bool("object-serve", false, "serve this node's result store to the fleet at /v1/objects/ (requires -cache-dir or a directory -result-store)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("allarm-serve", allarm.Version)
+		return 0
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := server.New(server.Options{
+	opts := server.Options{
 		Workers:       *parallel,
 		CacheEntries:  *cacheSize,
 		CacheDir:      *cacheDir,
@@ -93,7 +113,38 @@ func run() int {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "allarm-serve: "+format+"\n", args...)
 		},
-	})
+	}
+	if *authFile != "" {
+		guard, err := server.LoadGuard(*authFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+			return 1
+		}
+		opts.Guard = guard
+	}
+	if *storeBase != "" {
+		store, err := server.NewObjectStore(*storeBase, *storeToken)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+			return 1
+		}
+		opts.Store = store
+	}
+	if *objServe {
+		// Serve whatever directory backs this node's persistent tier. An
+		// HTTP -result-store has no local directory to export.
+		switch {
+		case *storeBase != "" && !strings.HasPrefix(*storeBase, "http://") && !strings.HasPrefix(*storeBase, "https://"):
+			opts.ObjectServeDir = *storeBase
+		case *cacheDir != "":
+			opts.ObjectServeDir = filepath.Join(*cacheDir, "results")
+		default:
+			fmt.Fprintln(os.Stderr, "allarm-serve: -object-serve needs -cache-dir or a directory -result-store")
+			return 1
+		}
+	}
+
+	srv, err := server.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
 		return 1
@@ -109,7 +160,14 @@ func run() int {
 	// on an ephemeral port (-addr :0) can discover where it listens.
 	fmt.Printf("allarm-serve: listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds slow-loris header dribble; IdleTimeout
+	// reaps abandoned keep-alive connections. No overall write timeout:
+	// /events streams for as long as a sweep runs.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

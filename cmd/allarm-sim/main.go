@@ -64,8 +64,13 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 		jsonOut   = flag.Bool("json", false, "emit raw per-run records as JSON")
 		csvOut    = flag.Bool("csv", false, "emit raw per-run records as CSV")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("allarm-sim", allarm.Version)
+		return 0
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")

@@ -36,8 +36,13 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "stream seed (capture) / simulation seed (replay)")
 		policy   = flag.String("policy", "allarm", "optimised policy for -replay (see allarm-sim -policy)")
 		check    = flag.Bool("check", false, "enable the coherence invariant checker for -replay")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("allarm-trace", allarm.Version)
+		return
+	}
 
 	switch {
 	case *gen:

@@ -116,4 +116,23 @@
 // "aborted":true) and never-started ones "skipped". See the Serving
 // and "Durability & cancellation" sections of README.md for a curl
 // quickstart, the cache-dir layout and the drain semantics.
+//
+// # Fleet serving
+//
+// cmd/allarm-router (internal/fleet) scales the same API across many
+// daemons. The router is stateless: expanded jobs are
+// consistent-hashed onto shards by Job.Key — the fingerprint the
+// shards cache under — so identical jobs land where their result is
+// warm, a fleet-wide re-submission re-simulates nothing, and results
+// gather back in spec order, byte-identical to a single node across
+// every emitter. Shards are health-checked and routed around; a shard
+// lost mid-sweep degrades its jobs to "skipped" instead of failing the
+// gather. The persistent tier is the exported ResultStore interface
+// (internal/server): a content-addressed directory, or any S3-style
+// object endpoint via NewObjectStore — allarm-serve's -object-serve
+// exports one node's directory as exactly such an endpoint
+// (ObjectHandler). Both daemons guard their doors with per-client
+// bearer tokens, token-bucket rate limits and per-sweep job quotas
+// (-auth). See the "Fleet serving" section of README.md for a
+// two-shard quickstart.
 package allarm

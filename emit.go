@@ -1,6 +1,7 @@
 package allarm
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -11,11 +12,27 @@ import (
 )
 
 // Emitter renders the results of a sweep. The built-in emitters —
-// TableEmitter, CSVEmitter and JSONEmitter — share one flat record per
-// job (spec fields plus the Result metrics), so the same sweep can feed
-// a terminal, a spreadsheet or a downstream tool without re-running.
+// TableEmitter, CSVEmitter, JSONEmitter and NDJSONEmitter — share one
+// flat Record per job (spec fields plus the Result metrics), so the
+// same sweep can feed a terminal, a spreadsheet or a downstream tool
+// without re-running. Every built-in emitter also implements
+// RecordEmitter: rendering pre-flattened Records (for example rows
+// gathered from several allarm-serve shards by allarm-router) goes
+// through exactly the same code path as rendering live results, so the
+// two are byte-identical by construction.
 type Emitter interface {
 	Emit(w io.Writer, results []SweepResult) error
+}
+
+// RecordEmitter renders pre-flattened Records — the merge seam for
+// consumers that hold rows rather than live SweepResults (allarm-router
+// gathers per-shard NDJSON into Records and re-renders them in global
+// spec order). All built-in emitters implement it, and their Emit is
+// defined as EmitRecords over RecordsOf, which is what guarantees
+// gathered output matches single-node output byte for byte.
+type RecordEmitter interface {
+	Emitter
+	EmitRecords(w io.Writer, recs []Record) error
 }
 
 // sweepColumns are the emitted fields, in order. Table and CSV output
@@ -28,11 +45,13 @@ var sweepColumns = []string{
 	"noc_energy_pj", "pf_energy_pj",
 }
 
-// sweepRecord is the flat serialisable view of one SweepResult. The
-// metrics are an embedded pointer so JSON keeps legitimate zeros on
-// successful runs (ALLARM eliminating every eviction must read as
-// "pf_evictions": 0) while failed jobs omit the metric keys entirely.
-type sweepRecord struct {
+// Record is the flat serialisable view of one SweepResult — the row
+// every emitter renders and the unit allarm-router ships between fleet
+// nodes. The metrics are an embedded pointer so JSON keeps legitimate
+// zeros on successful runs (ALLARM eliminating every eviction must read
+// as "pf_evictions": 0) while failed jobs omit the metric keys entirely;
+// ReadRecords round-trips both cases losslessly.
+type Record struct {
 	Benchmark string `json:"benchmark"`
 	Policy    string `json:"policy"`
 	Threads   int    `json:"threads"`
@@ -47,12 +66,12 @@ type sweepRecord struct {
 	// CSV/table column set is unchanged.
 	Aborted bool `json:"aborted,omitempty"`
 
-	*sweepMetrics
+	*RecordMetrics
 }
 
-// sweepMetrics are the per-run measurements, present only when the job
+// RecordMetrics are the per-run measurements, present only when the job
 // produced a Result.
-type sweepMetrics struct {
+type RecordMetrics struct {
 	RuntimeNs       float64 `json:"runtime_ns"`
 	Accesses        uint64  `json:"accesses"`
 	PFAllocs        uint64  `json:"pf_allocs"`
@@ -71,9 +90,9 @@ type sweepMetrics struct {
 	PFEnergyPJ      float64 `json:"pf_energy_pj"`
 }
 
-// record flattens one SweepResult.
-func record(r SweepResult) sweepRecord {
-	rec := sweepRecord{
+// RecordOf flattens one SweepResult into its emitted Record.
+func RecordOf(r SweepResult) Record {
+	rec := Record{
 		Benchmark: r.Job.WorkloadName(),
 		Policy:    r.Job.Config.Policy.String(),
 		Threads:   r.Job.Config.Threads,
@@ -99,7 +118,7 @@ func record(r SweepResult) sweepRecord {
 		}
 	}
 	if res := r.Result; res != nil {
-		rec.sweepMetrics = &sweepMetrics{
+		rec.RecordMetrics = &RecordMetrics{
 			RuntimeNs:       res.RuntimeNs,
 			Accesses:        res.Accesses,
 			PFAllocs:        res.PFAllocs,
@@ -121,14 +140,49 @@ func record(r SweepResult) sweepRecord {
 	return rec
 }
 
+// RecordsOf flattens a whole sweep's results in order.
+func RecordsOf(results []SweepResult) []Record {
+	recs := make([]Record, len(results))
+	for i, r := range results {
+		recs[i] = RecordOf(r)
+	}
+	return recs
+}
+
+// ReadRecords decodes an NDJSON stream of Records (one object per line,
+// as NDJSONEmitter writes them). It is the gather side of the fleet
+// merge seam: Records survive the NDJSON round trip losslessly —
+// re-emitting what ReadRecords returns produces the original bytes —
+// because Go's JSON encoder prints floats in their shortest exact form.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("allarm: record %d: %w", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
 // cells renders the record's fields as strings in sweepColumns order.
 // Failed jobs print zero metrics (the error column explains why).
-func (rec sweepRecord) cells() []string {
+func (rec Record) cells() []string {
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
-	m := rec.sweepMetrics
+	m := rec.RecordMetrics
 	if m == nil {
-		m = &sweepMetrics{}
+		m = &RecordMetrics{}
 	}
 	return []string{
 		rec.Benchmark, rec.Policy,
@@ -150,35 +204,44 @@ type TableEmitter struct {
 	// Reference, when non-nil, selects the run each row's speedup is
 	// normalised to (typically the full-size baseline); a "speedup"
 	// column is appended and a geomean row (over non-zero speedups, as
-	// the paper's figures do) closes the table.
+	// the paper's figures do) closes the table. The speedup needs the
+	// live Results, so it applies to Emit only — EmitRecords renders the
+	// plain column set.
 	Reference func(r SweepResult) *Result
 }
 
 // Emit implements Emitter.
 func (e *TableEmitter) Emit(w io.Writer, results []SweepResult) error {
-	header := sweepColumns
-	if e.Reference != nil {
-		header = append(append([]string{}, sweepColumns...), "speedup")
+	if e.Reference == nil {
+		return e.EmitRecords(w, RecordsOf(results))
 	}
+	header := append(append([]string{}, sweepColumns...), "speedup")
 	t := stats.NewTable(header...)
 	var speedups []float64
 	for _, r := range results {
-		cells := record(r).cells()
-		if e.Reference != nil {
-			v := 0.0
-			if ref := e.Reference(r); ref != nil && r.Result != nil {
-				v = stats.SafeDiv(ref.RuntimeNs, r.Result.RuntimeNs, 0)
-			}
-			speedups = append(speedups, v)
-			cells = append(cells, fmt.Sprintf("%.3f", v))
+		cells := RecordOf(r).cells()
+		v := 0.0
+		if ref := e.Reference(r); ref != nil && r.Result != nil {
+			v = stats.SafeDiv(ref.RuntimeNs, r.Result.RuntimeNs, 0)
 		}
+		speedups = append(speedups, v)
+		cells = append(cells, fmt.Sprintf("%.3f", v))
 		t.AddRow(cells...)
 	}
-	if e.Reference != nil {
-		geo := make([]string, len(sweepColumns)+1)
-		geo[0] = "geomean"
-		geo[len(geo)-1] = fmt.Sprintf("%.3f", stats.GeomeanNonZero(speedups))
-		t.AddRow(geo...)
+	geo := make([]string, len(sweepColumns)+1)
+	geo[0] = "geomean"
+	geo[len(geo)-1] = fmt.Sprintf("%.3f", stats.GeomeanNonZero(speedups))
+	t.AddRow(geo...)
+	_, err := fmt.Fprint(w, t.String())
+	return err
+}
+
+// EmitRecords implements RecordEmitter (no speedup column: Reference
+// needs live Results).
+func (e *TableEmitter) EmitRecords(w io.Writer, recs []Record) error {
+	t := stats.NewTable(sweepColumns...)
+	for _, rec := range recs {
+		t.AddRow(rec.cells()...)
 	}
 	_, err := fmt.Fprint(w, t.String())
 	return err
@@ -188,13 +251,18 @@ func (e *TableEmitter) Emit(w io.Writer, results []SweepResult) error {
 type CSVEmitter struct{}
 
 // Emit implements Emitter.
-func (CSVEmitter) Emit(w io.Writer, results []SweepResult) error {
+func (e CSVEmitter) Emit(w io.Writer, results []SweepResult) error {
+	return e.EmitRecords(w, RecordsOf(results))
+}
+
+// EmitRecords implements RecordEmitter.
+func (CSVEmitter) EmitRecords(w io.Writer, recs []Record) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(sweepColumns); err != nil {
 		return err
 	}
-	for _, r := range results {
-		if err := cw.Write(record(r).cells()); err != nil {
+	for _, rec := range recs {
+		if err := cw.Write(rec.cells()); err != nil {
 			return err
 		}
 	}
@@ -210,10 +278,11 @@ type JSONEmitter struct {
 
 // Emit implements Emitter.
 func (e JSONEmitter) Emit(w io.Writer, results []SweepResult) error {
-	recs := make([]sweepRecord, len(results))
-	for i, r := range results {
-		recs[i] = record(r)
-	}
+	return e.EmitRecords(w, RecordsOf(results))
+}
+
+// EmitRecords implements RecordEmitter.
+func (e JSONEmitter) EmitRecords(w io.Writer, recs []Record) error {
 	enc := json.NewEncoder(w)
 	if e.Indent {
 		enc.SetIndent("", "  ")
@@ -222,18 +291,25 @@ func (e JSONEmitter) Emit(w io.Writer, results []SweepResult) error {
 }
 
 // NDJSONEmitter renders sweep results as newline-delimited JSON: one
-// sweepRecord object per line, with exactly the keys JSONEmitter uses.
+// Record object per line, with exactly the keys JSONEmitter uses.
 // Because every line is independently parseable, the format streams —
 // allarm-serve emits it for results endpoints where consumers want rows
 // as they read, and `jq` or a log pipeline can process output without
-// buffering the whole array.
+// buffering the whole array. It is also the fleet wire format:
+// allarm-router gathers shard results as NDJSON, decodes them with
+// ReadRecords and re-renders the merged rows byte-identically.
 type NDJSONEmitter struct{}
 
 // Emit implements Emitter.
-func (NDJSONEmitter) Emit(w io.Writer, results []SweepResult) error {
+func (e NDJSONEmitter) Emit(w io.Writer, results []SweepResult) error {
+	return e.EmitRecords(w, RecordsOf(results))
+}
+
+// EmitRecords implements RecordEmitter.
+func (NDJSONEmitter) EmitRecords(w io.Writer, recs []Record) error {
 	enc := json.NewEncoder(w)
-	for _, r := range results {
-		if err := enc.Encode(record(r)); err != nil {
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// routerMetrics are the router's internal counters.
+type routerMetrics struct {
+	sweepsSubmitted atomic.Uint64
+	sweepsCompleted atomic.Uint64
+	sweepsDegraded  atomic.Uint64
+	jobsScattered   atomic.Uint64
+	shardFailures   atomic.Uint64
+	tracesUploaded  atomic.Uint64
+	gathers         atomic.Uint64
+	gatherNs        atomic.Uint64
+}
+
+// ShardMetrics is one shard's row in the router's GET /metrics answer.
+type ShardMetrics struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	// Requests counts every HTTP call the router made to this shard
+	// (submits, polls, streams, probes, uploads).
+	Requests uint64 `json:"requests"`
+	// Retries counts backoff re-attempts against this shard.
+	Retries uint64 `json:"retries"`
+	// JobsAssigned counts jobs placement hashed onto this shard.
+	JobsAssigned uint64 `json:"jobs_assigned"`
+	// UnhealthyIntervals counts completed excluded periods;
+	// UnhealthySeconds totals them, including an ongoing one.
+	UnhealthyIntervals uint64  `json:"unhealthy_intervals"`
+	UnhealthySeconds   float64 `json:"unhealthy_seconds"`
+	// Version is the shard's reported build ("" until first probed).
+	Version string `json:"version,omitempty"`
+}
+
+// Metrics is the router's GET /metrics answer.
+type Metrics struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	ShardsHealthy   int     `json:"shards_healthy"`
+	ShardsTotal     int     `json:"shards_total"`
+	SweepsSubmitted uint64  `json:"sweeps_submitted"`
+	SweepsCompleted uint64  `json:"sweeps_completed"`
+	// SweepsDegraded finished with at least one shard's jobs skipped.
+	SweepsDegraded uint64 `json:"sweeps_degraded"`
+	JobsScattered  uint64 `json:"jobs_scattered"`
+	// ShardFailures counts shard sub-sweeps lost past the retry budget.
+	ShardFailures  uint64 `json:"shard_failures"`
+	TracesUploaded uint64 `json:"traces_uploaded"`
+	// Gathers counts finished scatter/gathers; GatherSecondsTotal sums
+	// their wall time (submit to merged results).
+	Gathers            uint64         `json:"gathers"`
+	GatherSecondsTotal float64        `json:"gather_seconds_total"`
+	Shards             []ShardMetrics `json:"shards"`
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	m := Metrics{
+		UptimeSeconds:      time.Since(rt.start).Seconds(),
+		ShardsTotal:        len(rt.shards),
+		SweepsSubmitted:    rt.met.sweepsSubmitted.Load(),
+		SweepsCompleted:    rt.met.sweepsCompleted.Load(),
+		SweepsDegraded:     rt.met.sweepsDegraded.Load(),
+		JobsScattered:      rt.met.jobsScattered.Load(),
+		ShardFailures:      rt.met.shardFailures.Load(),
+		TracesUploaded:     rt.met.tracesUploaded.Load(),
+		Gathers:            rt.met.gathers.Load(),
+		GatherSecondsTotal: float64(rt.met.gatherNs.Load()) / 1e9,
+		Shards:             make([]ShardMetrics, len(rt.shards)),
+	}
+	for i, sh := range rt.shards {
+		spans, dur := sh.unhealthyTotal(now)
+		healthy := sh.isHealthy()
+		if healthy {
+			m.ShardsHealthy++
+		}
+		sh.versionMu.Lock()
+		version := sh.version
+		sh.versionMu.Unlock()
+		m.Shards[i] = ShardMetrics{
+			Name:               sh.name,
+			Healthy:            healthy,
+			Requests:           sh.requests.Load(),
+			Retries:            sh.retries.Load(),
+			JobsAssigned:       sh.jobsAssigned.Load(),
+			UnhealthyIntervals: spans,
+			UnhealthySeconds:   dur.Seconds(),
+			Version:            version,
+		}
+	}
+	writeJSON(w, m)
+}

@@ -1,0 +1,833 @@
+// Package fleet is the sharded serving layer behind cmd/allarm-router:
+// a thin, stateless-by-design router that consistent-hashes each job of
+// a sweep onto a fleet of allarm-serve backends, scatters per-shard
+// sub-sweeps, and gathers the results back into global spec order.
+//
+// # Placement
+//
+// The sharding key is Job.Key — the same golden-tested fingerprint the
+// shards' content-addressed result caches use. Hashing the cache key is
+// the whole design: identical jobs always land on the same shard, so a
+// re-submitted sweep is served entirely from the fleet's caches with
+// zero re-simulations, and no shard ever holds a duplicate of another's
+// work. The ring walks past unhealthy shards, so an outage moves only
+// the victim's keys (and only while it is out).
+//
+// # Scatter/gather
+//
+// A sub-sweep is sent as an explicit JobSpec list in global spec order
+// — the same SweepRequest the shard would accept from any client, so a
+// shard needs no fleet awareness at all. Results come back as NDJSON
+// Records and are re-rendered through the same emitters a single
+// daemon uses (allarm.RecordEmitter), which makes gathered output
+// byte-identical to a single-node run of the same request.
+//
+// # Degradation
+//
+// A shard that dies mid-sweep does not fail the gather: after the
+// retry budget its jobs are reported as skipped rows (the error column
+// names the shard) and the sweep finishes with status "degraded". The
+// health loop excludes the shard from new placements after FailAfter
+// consecutive probe failures and re-admits it on the first success.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	allarm "allarm"
+	"allarm/internal/server"
+)
+
+// Tuning defaults.
+const (
+	// defaultReplicas is the ring points per shard; enough that removing
+	// one shard spreads its keys roughly evenly over the survivors.
+	defaultReplicas = 64
+	// defaultHealthInterval paces /healthz probes.
+	defaultHealthInterval = 2 * time.Second
+	// defaultFailAfter is the consecutive probe failures before a shard
+	// is excluded from placement.
+	defaultFailAfter = 2
+	// defaultAttempts bounds tries per shard call (1 + retries).
+	defaultAttempts = 3
+	// defaultRetryBackoff seeds the exponential retry backoff.
+	defaultRetryBackoff = 100 * time.Millisecond
+	// defaultRequestTimeout bounds non-streaming shard calls.
+	defaultRequestTimeout = 30 * time.Second
+	// probeTimeout bounds one health probe.
+	probeTimeout = 2 * time.Second
+	// maxSubmitBytes / maxTraceBytes mirror the shard-side request
+	// bounds: the router must not accept what a shard would refuse.
+	maxSubmitBytes = 1 << 20
+	maxTraceBytes  = 64 << 20
+	// maxTraces bounds retained trace uploads. The router keeps raw
+	// bytes (for re-upload to amnesiac shards), so the bound is tighter
+	// than a shard's.
+	maxTraces = 16
+)
+
+// Options configures a Router.
+type Options struct {
+	// Shards are the allarm-serve base URLs (e.g. http://10.0.0.7:8347).
+	// At least one is required. The set is fixed for the router's
+	// lifetime; placement depends only on it, so every router with the
+	// same set computes the same placement.
+	Shards []string
+	// ShardToken, when non-empty, is the bearer token presented to the
+	// shards (their Guard credential). Independent of the router's own
+	// Guard: clients authenticate to the router, the router to the fleet.
+	ShardToken string
+	// Replicas is the ring points per shard (<= 0: defaultReplicas).
+	Replicas int
+	// Guard, when non-nil, authenticates and rate-limits the router's
+	// own clients and enforces their job quotas at submit time.
+	Guard *server.Guard
+	// HealthInterval paces shard health probes (<= 0: 2s).
+	HealthInterval time.Duration
+	// FailAfter is the consecutive probe failures before a shard is
+	// excluded from new placements (<= 0: 2). One success re-admits it.
+	FailAfter int
+	// Attempts bounds tries per shard call (<= 0: 3). 4xx answers are
+	// never retried.
+	Attempts int
+	// RetryBackoff seeds the exponential backoff between retries
+	// (<= 0: 100ms).
+	RetryBackoff time.Duration
+	// RequestTimeout bounds non-streaming shard calls (<= 0: 30s).
+	RequestTimeout time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Router scatters sweeps over a shard fleet and gathers their results.
+// Create with New, serve Handler, stop with Close. It holds no result
+// state of its own — all caching lives in the shards — so a restarted
+// router recomputes the same placement and the fleet's caches make the
+// recovery cheap.
+type Router struct {
+	opts     Options
+	shards   []*shard
+	ring     *ring
+	mux      *http.ServeMux
+	handler  http.Handler
+	ctx      context.Context
+	cancel   context.CancelFunc
+	start    time.Time
+	attempts int
+	backoff  time.Duration
+	timeout  time.Duration
+
+	met routerMetrics
+
+	mu     sync.Mutex
+	sweeps map[string]*fleetSweep
+	order  []string
+	nextID uint64
+	traces map[string]traceEntry
+	trIDs  []string // upload order, oldest first (eviction)
+
+	active sync.WaitGroup // gather goroutines + health loop
+}
+
+// traceEntry keeps an upload's raw bytes (for re-upload to a shard that
+// lost it) alongside the parsed workload (for local sweep expansion).
+type traceEntry struct {
+	data []byte
+	wl   allarm.Workload
+}
+
+// New returns a ready Router with its health loop running.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: at least one shard is required")
+	}
+	seen := make(map[string]bool, len(opts.Shards))
+	shards := make([]*shard, 0, len(opts.Shards))
+	names := make([]string, 0, len(opts.Shards))
+	for _, raw := range opts.Shards {
+		sh := newShard(raw, opts.ShardToken)
+		if sh.name == "" {
+			return nil, fmt.Errorf("fleet: empty shard URL")
+		}
+		if seen[sh.name] {
+			return nil, fmt.Errorf("fleet: duplicate shard %s", sh.name)
+		}
+		seen[sh.name] = true
+		shards = append(shards, sh)
+		names = append(names, sh.name)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := &Router{
+		opts:     opts,
+		shards:   shards,
+		ring:     newRing(names, opts.Replicas),
+		ctx:      ctx,
+		cancel:   cancel,
+		start:    time.Now(),
+		attempts: opts.Attempts,
+		backoff:  opts.RetryBackoff,
+		timeout:  opts.RequestTimeout,
+		sweeps:   make(map[string]*fleetSweep),
+		traces:   make(map[string]traceEntry),
+	}
+	if rt.attempts <= 0 {
+		rt.attempts = defaultAttempts
+	}
+	if rt.backoff <= 0 {
+		rt.backoff = defaultRetryBackoff
+	}
+	if rt.timeout <= 0 {
+		rt.timeout = defaultRequestTimeout
+	}
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/sweeps", rt.handleSubmit)
+	rt.mux.HandleFunc("GET /v1/sweeps", rt.handleList)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}", rt.handleStatus)
+	rt.mux.HandleFunc("DELETE /v1/sweeps/{id}", rt.handleDelete)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}/results", rt.handleResults)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}/events", rt.handleEvents)
+	rt.mux.HandleFunc("POST /v1/traces", rt.handleTraceUpload)
+	rt.mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, allarm.DescribePolicies())
+	})
+	rt.mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, allarm.DescribeBenchmarks())
+	})
+	rt.mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"version": allarm.Version})
+	})
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.handler = opts.Guard.Wrap(rt.mux)
+
+	rt.active.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler (behind the Guard when one
+// is configured).
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Close stops the health loop and cancels in-flight gathers, waiting
+// for them to unwind. Shard-side sweeps keep running — the shards own
+// the work; a restarted router re-submits and the shard caches answer.
+func (rt *Router) Close() {
+	rt.cancel()
+	rt.active.Wait()
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// alive is the ring's placement predicate.
+func (rt *Router) alive(i int) bool { return rt.shards[i].isHealthy() }
+
+// healthLoop probes every shard each interval, excluding and
+// re-admitting them as their /healthz answers flip.
+func (rt *Router) healthLoop() {
+	defer rt.active.Done()
+	interval := rt.opts.HealthInterval
+	if interval <= 0 {
+		interval = defaultHealthInterval
+	}
+	failAfter := rt.opts.FailAfter
+	if failAfter <= 0 {
+		failAfter = defaultFailAfter
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.ctx.Done():
+			return
+		case <-t.C:
+			rt.probeAll(failAfter)
+		}
+	}
+}
+
+// probeAll runs one health round across the fleet, concurrently.
+func (rt *Router) probeAll(failAfter int) {
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			ok := rt.probe(sh)
+			switch sh.probeResult(ok, failAfter, time.Now()) {
+			case "excluded":
+				rt.logf("shard %s: unhealthy, excluded from placement", sh.name)
+			case "readmitted":
+				rt.logf("shard %s: healthy again, re-admitted", sh.name)
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// probe checks one shard's /healthz (any 200 counts — a draining shard
+// still answers queries for its in-flight sweeps, but new placements
+// should avoid it, so "draining" bodies are treated as unhealthy). On
+// the first success it also records the shard's build version and logs
+// a skew warning once: mixed builds serve correctly (Job.Key excludes
+// the version) but should not linger.
+func (rt *Router) probe(sh *shard) bool {
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := sh.doJSON(rt.ctx, http.MethodGet, "/healthz", nil, probeTimeout, &health); err != nil {
+		return false
+	}
+	if health.Status == "draining" {
+		return false
+	}
+	sh.versionMu.Lock()
+	known := sh.version != ""
+	sh.versionMu.Unlock()
+	if !known {
+		var v struct {
+			Version string `json:"version"`
+		}
+		if err := sh.doJSON(rt.ctx, http.MethodGet, "/v1/version", nil, probeTimeout, &v); err == nil && v.Version != "" {
+			sh.versionMu.Lock()
+			sh.version = v.Version
+			sh.versionMu.Unlock()
+			if v.Version != allarm.Version {
+				rt.logf("shard %s: version skew: shard %s, router %s", sh.name, v.Version, allarm.Version)
+			}
+		}
+	}
+	return true
+}
+
+// specOf reconstructs the request-level workload spec of an expanded
+// job: the inverse of ExpandSweep's resolve step. Trace workloads are
+// named by their content-hash id, so the spec round-trips exactly.
+func specOf(job allarm.Job) string {
+	if job.Workload != nil {
+		return "trace:" + job.Workload.Name()
+	}
+	return "bench:" + job.Benchmark
+}
+
+// handleSubmit is the scatter: expand the request exactly as a shard
+// would, place every job by its key, and send each shard its jobs as an
+// explicit JobSpec list in global spec order.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.SweepRequest
+	body := http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sweep, err := server.ExpandSweep(&req, rt.lookupTrace)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := server.CheckJobQuota(r, sweep.Len()); err != nil {
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
+	if rt.ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("router is shutting down"))
+		return
+	}
+
+	// Place every job. Placement is by Job.Key, so two identical jobs —
+	// within this sweep or across sweeps — always meet the same cache.
+	baseCfg := server.RequestConfig(req.Config)
+	assign := make(map[int][]int) // shard index -> global job indices
+	for g, job := range sweep.Jobs {
+		si := rt.ring.lookup(job.Key(), rt.alive)
+		if si < 0 {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no healthy shards"))
+			return
+		}
+		assign[si] = append(assign[si], g)
+	}
+
+	// Build the per-shard sub-sweeps: explicit JobSpec lists carrying
+	// each job's own policy and probe-filter size, zero-valued where the
+	// request config already supplies them — so the shard expands every
+	// spec to a Job whose Key equals the one placement hashed.
+	sub := make(map[int]*server.SweepRequest, len(assign))
+	for si, globals := range assign {
+		specs := make([]server.JobSpec, len(globals))
+		for li, g := range globals {
+			job := sweep.Jobs[g]
+			js := server.JobSpec{
+				Workload: specOf(job),
+				Policy:   job.Config.Policy.String(),
+			}
+			if job.Config.PFBytes != baseCfg.PFBytes {
+				js.PFKiB = job.Config.PFBytes >> 10
+			}
+			specs[li] = js
+		}
+		sub[si] = &server.SweepRequest{Jobs: specs, Config: req.Config}
+	}
+
+	views := make([]JobView, sweep.Len())
+	for si, globals := range assign {
+		for _, g := range globals {
+			job := sweep.Jobs[g]
+			views[g] = JobView{
+				Benchmark: job.WorkloadName(),
+				Policy:    job.Config.Policy.String(),
+				PFKiB:     job.Config.PFBytes >> 10,
+				Shard:     rt.shards[si].name,
+				Status:    server.JobPending,
+			}
+		}
+	}
+
+	rt.mu.Lock()
+	rt.nextID++
+	id := fmt.Sprintf("fs-%06d", rt.nextID)
+	st := newFleetSweep(id, views, time.Now())
+	rt.sweeps[id] = st
+	rt.order = append(rt.order, id)
+	rt.mu.Unlock()
+
+	rt.met.sweepsSubmitted.Add(1)
+	rt.met.jobsScattered.Add(uint64(sweep.Len()))
+	rt.logf("sweep %s: %d jobs scattered over %d shards", id, sweep.Len(), len(assign))
+	rt.active.Add(1)
+	go rt.runFleetSweep(st, sweep, sub, assign)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, server.SubmitResponse{
+		ID: id, Jobs: sweep.Len(),
+		Status:  "/v1/sweeps/" + id,
+		Results: "/v1/sweeps/" + id + "/results",
+		Events:  "/v1/sweeps/" + id + "/events",
+	})
+}
+
+// runFleetSweep drives one gather: each assigned shard's sub-sweep runs
+// in its own goroutine; a shard that fails past the retry budget has
+// its jobs synthesised as skipped rows instead of failing the sweep.
+func (rt *Router) runFleetSweep(st *fleetSweep, sweep *allarm.Sweep, sub map[int]*server.SweepRequest, assign map[int][]int) {
+	defer rt.active.Done()
+	begin := time.Now()
+	var wg sync.WaitGroup
+	var degraded atomic.Bool
+	for si, req := range sub {
+		wg.Add(1)
+		go func(si int, req *server.SweepRequest, globals []int) {
+			defer wg.Done()
+			sh := rt.shards[si]
+			recs, err := rt.runShardSweep(st, sh, req, globals)
+			if err != nil {
+				degraded.Store(true)
+				rt.met.shardFailures.Add(1)
+				rt.logf("sweep %s: shard %s lost %d jobs: %v", st.id, sh.name, len(globals), err)
+				for _, g := range globals {
+					serr := fmt.Errorf("shard %s: %w", sh.name, err)
+					st.setRecord(g, allarm.RecordOf(allarm.SweepResult{Job: sweep.Jobs[g], Err: serr}))
+					st.jobUpdate(g, server.JobSkipped, serr.Error())
+				}
+				return
+			}
+			for li, g := range globals {
+				st.setRecord(g, recs[li])
+				// Reconcile statuses the SSE stream may not have
+				// delivered (idempotent: terminal states never regress).
+				st.jobUpdate(g, statusOfRecord(recs[li]), recs[li].Error)
+			}
+		}(si, req, assign[si])
+	}
+	wg.Wait()
+	st.finish(degraded.Load())
+	rt.met.gathers.Add(1)
+	rt.met.gatherNs.Add(uint64(time.Since(begin).Nanoseconds()))
+	if degraded.Load() {
+		rt.met.sweepsDegraded.Add(1)
+		rt.logf("sweep %s: degraded (%s)", st.id, time.Since(begin).Round(time.Millisecond))
+		return
+	}
+	rt.met.sweepsCompleted.Add(1)
+	rt.logf("sweep %s: done (%s)", st.id, time.Since(begin).Round(time.Millisecond))
+}
+
+// runShardSweep runs one shard's share: submit (re-uploading traces the
+// shard turns out not to know), watch its SSE stream for per-job
+// progress, then fetch the finished records. Every step retries with
+// backoff; an exhausted budget surfaces as the shard's failure.
+func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequest, globals []int) ([]allarm.Record, error) {
+	sh.jobsAssigned.Add(uint64(len(globals)))
+	ctx := rt.ctx
+
+	var id string
+	submit := func() error {
+		var err error
+		id, err = sh.submitSweep(ctx, req, rt.timeout)
+		var he *httpError
+		if err != nil && isHTTPError(err, &he) && he.status == http.StatusBadRequest &&
+			strings.Contains(he.body, "unknown trace") {
+			// The shard lost (or never saw) an uploaded trace — a
+			// restart without a cache dir, or it joined after the
+			// upload broadcast. Re-upload from the router's copy and
+			// go again.
+			if uerr := rt.reuploadTraces(ctx, sh, req); uerr != nil {
+				return fmt.Errorf("%w (re-upload failed: %v)", err, uerr)
+			}
+			id, err = sh.submitSweep(ctx, req, rt.timeout)
+		}
+		return err
+	}
+	if err := sh.retry(ctx, rt.attempts, rt.backoff, submit); err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+
+	// Watch the shard's SSE stream, remapping local job indices into
+	// global spec positions. The stream ends when the shard sweep is
+	// final; a broken stream (shard died mid-sweep) falls through to the
+	// status poll, which owns the retry budget.
+	streamErr := sh.streamEvents(ctx, id, func(ev sseEvent) {
+		if ev.Type != "job" {
+			return
+		}
+		var je struct {
+			Index  int    `json:"index"`
+			Status string `json:"status"`
+			Error  string `json:"error,omitempty"`
+		}
+		if json.Unmarshal(ev.Data, &je) != nil || je.Index < 0 || je.Index >= len(globals) {
+			return
+		}
+		st.jobUpdate(globals[je.Index], je.Status, je.Error)
+	})
+	if streamErr != nil {
+		rt.logf("sweep %s: shard %s: event stream broke, polling: %v", st.id, sh.name, streamErr)
+	}
+	if err := rt.awaitTerminal(ctx, sh, id); err != nil {
+		return nil, err
+	}
+
+	var recs []allarm.Record
+	fetch := func() error {
+		var err error
+		recs, err = sh.fetchRecords(ctx, id, rt.timeout)
+		return err
+	}
+	if err := sh.retry(ctx, rt.attempts, rt.backoff, fetch); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	if len(recs) != len(globals) {
+		return nil, fmt.Errorf("shard returned %d records for %d jobs", len(recs), len(globals))
+	}
+	return recs, nil
+}
+
+// awaitTerminal polls a shard sweep's status until it is final,
+// tolerating up to the retry budget of consecutive poll failures.
+func (rt *Router) awaitTerminal(ctx context.Context, sh *shard, id string) error {
+	fails := 0
+	for {
+		v, err := sh.sweepStatus(ctx, id, rt.timeout)
+		switch {
+		case err != nil:
+			fails++
+			if fails >= rt.attempts {
+				return fmt.Errorf("status: %w", err)
+			}
+			sh.retries.Add(1)
+		case v.Status == server.StatusDone || v.Status == server.StatusCheckpointed:
+			return nil
+		default:
+			fails = 0
+		}
+		select {
+		case <-time.After(rt.backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// reuploadTraces pushes the router's copies of every trace the
+// sub-sweep references to one shard.
+func (rt *Router) reuploadTraces(ctx context.Context, sh *shard, req *server.SweepRequest) error {
+	for _, id := range traceIDsOf(req) {
+		rt.mu.Lock()
+		entry, ok := rt.traces[id]
+		rt.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("trace %s: not held by this router (re-upload it)", id)
+		}
+		if err := sh.uploadTrace(ctx, entry.data, rt.timeout); err != nil {
+			return fmt.Errorf("trace %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// traceIDsOf lists the distinct trace ids a request references.
+func traceIDsOf(req *server.SweepRequest) []string {
+	seen := make(map[string]bool)
+	var ids []string
+	add := func(spec string) {
+		if id, ok := strings.CutPrefix(spec, "trace:"); ok && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for _, spec := range req.Workloads {
+		add(spec)
+	}
+	for _, js := range req.Jobs {
+		add(js.Workload)
+	}
+	return ids
+}
+
+// lookupTrace resolves an uploaded trace for sweep expansion.
+func (rt *Router) lookupTrace(id string) allarm.Workload {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.traces[id].wl
+}
+
+// handleTraceUpload parses the trace locally (the router must expand
+// "trace:ID" specs itself to compute placement keys), keeps the raw
+// bytes for shard re-upload, and broadcasts the upload to every shard
+// so sub-sweep submits do not each pay a 400-retry round trip.
+func (rt *Router) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading trace: %w", err))
+		return
+	}
+	// Same content-addressed id scheme as the shards, so the id a
+	// client gets from the router is valid against any shard too.
+	sum := sha256.Sum256(data)
+	id := "tr-" + hex.EncodeToString(sum[:])
+
+	rt.mu.Lock()
+	_, exists := rt.traces[id]
+	rt.mu.Unlock()
+	var wl allarm.Workload
+	if exists {
+		wl = rt.lookupTrace(id)
+	} else {
+		wl, err = allarm.ReadTraceNamed(bytes.NewReader(data), id)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing trace: %w", err))
+			return
+		}
+		rt.mu.Lock()
+		if cur, ok := rt.traces[id]; ok {
+			wl = cur.wl
+		} else {
+			rt.traces[id] = traceEntry{data: data, wl: wl}
+			rt.trIDs = append(rt.trIDs, id)
+			for len(rt.trIDs) > maxTraces {
+				delete(rt.traces, rt.trIDs[0])
+				rt.trIDs = rt.trIDs[1:]
+			}
+		}
+		rt.mu.Unlock()
+		rt.met.tracesUploaded.Add(1)
+	}
+
+	// Best-effort broadcast; a shard that misses it (down right now, or
+	// evicts the trace later) is healed by the submit-time re-upload.
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			if err := sh.uploadTrace(rt.ctx, data, rt.timeout); err != nil {
+				rt.logf("trace %s: broadcast to %s: %v", id, sh.name, err)
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, server.TraceResponse{ID: id, Workload: "trace:" + id, Threads: wl.Threads()})
+}
+
+func (rt *Router) lookup(id string) *fleetSweep {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.sweeps[id]
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	states := make([]*fleetSweep, 0, len(rt.order))
+	for _, id := range rt.order {
+		states = append(states, rt.sweeps[id])
+	}
+	rt.mu.Unlock()
+	views := make([]SweepView, len(states))
+	for i, st := range states {
+		views[i] = st.view()
+	}
+	writeJSON(w, views)
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := rt.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, st.view())
+}
+
+// handleDelete forgets a finished gather. Purely a router-memory
+// operation: the shards retain their own sweeps and caches.
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	st := rt.sweeps[id]
+	if st == nil {
+		rt.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+		return
+	}
+	if !st.terminalState() {
+		rt.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is still gathering; only finished sweeps can be deleted", id))
+		return
+	}
+	delete(rt.sweeps, id)
+	for i, oid := range rt.order {
+		if oid == id {
+			rt.order = append(rt.order[:i], rt.order[i+1:]...)
+			break
+		}
+	}
+	rt.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResults renders the gathered records through the same emitters
+// and format negotiation a shard uses: byte-identical output, one code
+// path.
+func (rt *Router) handleResults(w http.ResponseWriter, r *http.Request) {
+	st := rt.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	recs, status, ok := st.snapshot()
+	if !ok {
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is %s; results are available once it is done", st.id, status))
+		return
+	}
+	format, err := server.NegotiateFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	emitter, ctype := server.FormatEmitter(format)
+	w.Header().Set("Content-Type", ctype)
+	if err := emitter.EmitRecords(w, recs); err != nil {
+		rt.logf("sweep %s: emit: %v", st.id, err)
+	}
+}
+
+// handleEvents streams the gather's progress as SSE, replaying full
+// history to late subscribers — the same contract as a shard's stream,
+// with job events carrying the owning shard and global indices.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st := rt.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	poke := st.subscribe()
+	defer st.unsubscribe(poke)
+	sent := 0
+	for {
+		evs, final := st.eventsSince(sent)
+		for _, e := range evs {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.Data)
+		}
+		if len(evs) > 0 {
+			sent += len(evs)
+			flusher.Flush()
+		}
+		if final {
+			if evs, _ := st.eventsSince(sent); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		select {
+		case <-poke:
+		case <-r.Context().Done():
+			return
+		case <-st.finished:
+		}
+	}
+}
+
+// handleHealthz reports the router and a per-shard health summary. The
+// router itself is "ok" while any shard is placeable; "degraded" means
+// new sweeps would be refused.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	shards := make(map[string]string, len(rt.shards))
+	for _, sh := range rt.shards {
+		if sh.isHealthy() {
+			healthy++
+			shards[sh.name] = "healthy"
+		} else {
+			shards[sh.name] = "unhealthy"
+		}
+	}
+	status := "ok"
+	if healthy == 0 {
+		status = "degraded"
+	}
+	writeJSON(w, map[string]any{"status": status, "shards": shards})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

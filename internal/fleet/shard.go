@@ -1,0 +1,312 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	allarm "allarm"
+	"allarm/internal/server"
+)
+
+// shard is one allarm-serve backend: its HTTP client, its health state
+// and its per-shard counters. All request plumbing — retries, backoff,
+// bearer credentials, health bookkeeping — lives here so the router's
+// scatter/gather logic reads as protocol, not transport.
+type shard struct {
+	name   string // base URL, e.g. http://10.0.0.7:8347
+	token  string // bearer forwarded on every shard request
+	client *http.Client
+
+	// Health state, written by the router's health loop and read by the
+	// ring's alive predicate.
+	mu             sync.Mutex
+	healthy        bool
+	fails          int       // consecutive failed probes
+	unhealthySince time.Time // zero while healthy
+
+	// Counters (metrics.go renders them).
+	requests       atomic.Uint64
+	retries        atomic.Uint64
+	unhealthySpans atomic.Uint64 // completed unhealthy intervals
+	unhealthyNs    atomic.Uint64 // total time spent excluded
+	jobsAssigned   atomic.Uint64
+
+	versionMu sync.Mutex
+	version   string // last /v1/version answer (build-skew check)
+}
+
+func newShard(name, token string) *shard {
+	return &shard{
+		name:  strings.TrimRight(name, "/"),
+		token: token,
+		// No Client.Timeout: SSE streams are long-lived by design.
+		// Bounded calls pass a context deadline instead.
+		client:  &http.Client{},
+		healthy: true, // optimistic until the first probe says otherwise
+	}
+}
+
+// isHealthy is the ring's alive predicate.
+func (sh *shard) isHealthy() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.healthy
+}
+
+// probeResult records one health-poll outcome, flipping the shard's
+// state after failAfter consecutive failures and re-admitting it on the
+// first success. It returns the transition ("excluded", "readmitted" or
+// "") for logging.
+func (sh *shard) probeResult(ok bool, failAfter int, now time.Time) string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ok {
+		sh.fails = 0
+		if !sh.healthy {
+			sh.healthy = true
+			sh.unhealthySpans.Add(1)
+			sh.unhealthyNs.Add(uint64(now.Sub(sh.unhealthySince).Nanoseconds()))
+			sh.unhealthySince = time.Time{}
+			return "readmitted"
+		}
+		return ""
+	}
+	sh.fails++
+	if sh.healthy && sh.fails >= failAfter {
+		sh.healthy = false
+		sh.unhealthySince = now
+		return "excluded"
+	}
+	return ""
+}
+
+// unhealthyTotal returns completed-interval time plus the current open
+// interval, so /metrics reflects an ongoing outage.
+func (sh *shard) unhealthyTotal(now time.Time) (spans uint64, dur time.Duration) {
+	spans = sh.unhealthySpans.Load()
+	dur = time.Duration(sh.unhealthyNs.Load())
+	sh.mu.Lock()
+	if !sh.healthy && !sh.unhealthySince.IsZero() {
+		dur += now.Sub(sh.unhealthySince)
+	}
+	sh.mu.Unlock()
+	return spans, dur
+}
+
+// do performs one HTTP request against the shard with the bearer
+// credential attached. Callers bound it with a context.
+func (sh *shard) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, sh.name+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if sh.token != "" {
+		req.Header.Set("Authorization", "Bearer "+sh.token)
+	}
+	sh.requests.Add(1)
+	return sh.client.Do(req)
+}
+
+// httpError is a non-2xx shard answer, carrying the status code so
+// callers can distinguish client errors (no retry) from server ones.
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.status, strings.TrimSpace(e.body))
+}
+
+// doJSON performs a bounded request and decodes a 2xx JSON answer into
+// out (out may be nil to discard).
+func (sh *shard) doJSON(ctx context.Context, method, path string, body []byte, timeout time.Duration, out any) error {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := sh.do(cctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &httpError{status: resp.StatusCode, body: string(data)}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("decoding %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// retry runs fn with exponential backoff until it succeeds, returns a
+// non-retryable error, or the attempt budget is exhausted. 4xx answers
+// are never retried (the request itself is wrong); transport errors and
+// 5xx are.
+func (sh *shard) retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			sh.retries.Add(1)
+			select {
+			case <-time.After(backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var he *httpError
+		if isHTTPError(err, &he) && he.status >= 400 && he.status < 500 {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return err
+}
+
+// isHTTPError unwraps err into an *httpError (errors.As without the
+// import churn for a single type).
+func isHTTPError(err error, target **httpError) bool {
+	for err != nil {
+		if he, ok := err.(*httpError); ok {
+			*target = he
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// submitSweep posts a sub-sweep and returns the shard's sweep id.
+func (sh *shard) submitSweep(ctx context.Context, req *server.SweepRequest, timeout time.Duration) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	var resp server.SubmitResponse
+	if err := sh.doJSON(ctx, http.MethodPost, "/v1/sweeps", body, timeout, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// sweepStatus fetches a shard sweep's status view.
+func (sh *shard) sweepStatus(ctx context.Context, id string, timeout time.Duration) (server.SweepView, error) {
+	var v server.SweepView
+	err := sh.doJSON(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, timeout, &v)
+	return v, err
+}
+
+// uploadTrace posts raw trace bytes (broadcast and 400-recovery paths).
+func (sh *shard) uploadTrace(ctx context.Context, data []byte, timeout time.Duration) error {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, sh.name+"/v1/traces", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if sh.token != "" {
+		req.Header.Set("Authorization", "Bearer "+sh.token)
+	}
+	sh.requests.Add(1)
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &httpError{status: resp.StatusCode, body: string(body)}
+	}
+	return nil
+}
+
+// fetchRecords downloads a finished shard sweep's results as NDJSON and
+// decodes them into Records — the gather half of the merge seam. NDJSON
+// is the wire format because Go's JSON float round-trip is exact: the
+// router re-encodes the decoded records bit-identically, which is what
+// makes gathered output byte-equal to a single-node run.
+func (sh *shard) fetchRecords(ctx context.Context, id string, timeout time.Duration) ([]allarm.Record, error) {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := sh.do(cctx, http.MethodGet, "/v1/sweeps/"+id+"/results?format=ndjson", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &httpError{status: resp.StatusCode, body: string(body)}
+	}
+	return allarm.ReadRecords(resp.Body)
+}
+
+// sseEvent is one parsed frame of a shard's /events stream.
+type sseEvent struct {
+	Type string
+	Data []byte
+}
+
+// streamEvents subscribes to a shard sweep's SSE progress stream,
+// invoking onEvent per frame until the stream ends or ctx is
+// cancelled. The server replays full history to new subscribers, so a
+// reconnect re-delivers earlier frames; consumers must be idempotent.
+func (sh *shard) streamEvents(ctx context.Context, id string, onEvent func(sseEvent)) error {
+	resp, err := sh.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &httpError{status: resp.StatusCode, body: string(body)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if ev.Type != "" && ev.Data != nil {
+				onEvent(ev)
+			}
+			ev = sseEvent{}
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	allarm "allarm"
+	"allarm/internal/server"
+)
+
+// Fleet sweep lifecycle states. Queued/running/done mirror a single
+// shard's; Degraded is fleet-specific: the gather completed but one or
+// more shards could not deliver their jobs, which are reported as
+// skipped rows rather than failing the whole sweep.
+const (
+	StatusQueued   = server.StatusQueued
+	StatusRunning  = server.StatusRunning
+	StatusDone     = server.StatusDone
+	StatusDegraded = "degraded"
+)
+
+// JobView is one job in a fleet sweep's status: the shard column is the
+// only addition over a single daemon's view.
+type JobView struct {
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	PFKiB     int    `json:"pf_kib"`
+	Shard     string `json:"shard"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+}
+
+// SweepView is the router's GET /v1/sweeps/{id} payload.
+type SweepView struct {
+	ID       string    `json:"id"`
+	Status   string    `json:"status"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+	Total    int       `json:"total"`
+	Done     int       `json:"done"`
+	Jobs     []JobView `json:"jobs"`
+}
+
+// event is one SSE frame of the router's progress stream.
+type event struct {
+	Type string
+	Data []byte
+}
+
+// jobEvent is the router's per-job SSE payload — a shard's job event
+// re-indexed into the global spec order, plus the shard that ran it.
+type jobEvent struct {
+	Sweep     string `json:"sweep"`
+	Index     int    `json:"index"`
+	Benchmark string `json:"benchmark"`
+	Policy    string `json:"policy"`
+	PFKiB     int    `json:"pf_kib"`
+	Shard     string `json:"shard"`
+	Status    string `json:"status"`
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Error     string `json:"error,omitempty"`
+}
+
+// sweepEvent is the router's sweep-level SSE payload.
+type sweepEvent struct {
+	Sweep  string `json:"sweep"`
+	Status string `json:"status"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+}
+
+// fleetSweep is one scattered sweep: the global job views, the gathered
+// records (indexed by global spec position) and the SSE event history.
+// Shard progress arrives concurrently from per-shard goroutines; all
+// mutation goes through the mutex, and done counts terminal jobs (not
+// transitions) so replayed shard events stay idempotent.
+type fleetSweep struct {
+	id      string
+	created time.Time
+	total   int
+
+	mu         sync.Mutex
+	status     string
+	jobs       []JobView
+	terminal   []bool // job i reached a final state
+	done       int
+	records    []allarm.Record
+	have       []bool
+	finishedAt time.Time
+	history    []event
+	subs       map[chan struct{}]struct{}
+	finished   chan struct{}
+}
+
+func newFleetSweep(id string, jobs []JobView, now time.Time) *fleetSweep {
+	return &fleetSweep{
+		id:       id,
+		created:  now,
+		total:    len(jobs),
+		status:   StatusQueued,
+		jobs:     jobs,
+		terminal: make([]bool, len(jobs)),
+		records:  make([]allarm.Record, len(jobs)),
+		have:     make([]bool, len(jobs)),
+		subs:     make(map[chan struct{}]struct{}),
+		finished: make(chan struct{}),
+	}
+}
+
+// publish appends an event and pokes subscribers. Callers hold st.mu.
+func (st *fleetSweep) publish(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return // payloads are our own structs; cannot fail
+	}
+	st.history = append(st.history, event{Type: typ, Data: data})
+	for ch := range st.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// jobTerminal reports whether a job status string is final.
+func jobTerminal(status string) bool {
+	switch status {
+	case server.JobDone, server.JobError, server.JobAborted, server.JobSkipped:
+		return true
+	}
+	return false
+}
+
+// jobUpdate applies one job's status change (from a shard's SSE stream,
+// remapped to the global index, or synthesised for a failed shard).
+// A job that already reached a terminal state never regresses: SSE
+// replay after a reconnect re-delivers old "running" frames, and the
+// fetch-time reconciliation must not double-count.
+func (st *fleetSweep) jobUpdate(i int, status, errMsg string) {
+	if !jobTerminal(status) && status != server.JobRunning {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.terminal[i] {
+		return
+	}
+	st.jobs[i].Status = status
+	st.jobs[i].Error = errMsg
+	if st.status == StatusQueued {
+		st.status = StatusRunning
+		st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
+	}
+	if jobTerminal(status) {
+		st.terminal[i] = true
+		st.done++
+	}
+	jv := st.jobs[i]
+	st.publish("job", jobEvent{
+		Sweep: st.id, Index: i,
+		Benchmark: jv.Benchmark, Policy: jv.Policy, PFKiB: jv.PFKiB,
+		Shard: jv.Shard, Status: jv.Status,
+		Done: st.done, Total: st.total, Error: jv.Error,
+	})
+}
+
+// setRecord stores job i's gathered (or synthesised) row.
+func (st *fleetSweep) setRecord(i int, rec allarm.Record) {
+	st.mu.Lock()
+	st.records[i] = rec
+	st.have[i] = true
+	st.mu.Unlock()
+}
+
+// statusOfRecord reconciles a job's final status from its gathered row,
+// for jobs whose SSE events were lost (stream broke mid-sweep but the
+// fetch succeeded).
+func statusOfRecord(rec allarm.Record) string {
+	switch {
+	case rec.Error == "":
+		return server.JobDone
+	case rec.Aborted:
+		return server.JobAborted
+	default:
+		return server.JobError
+	}
+}
+
+// finish marks the gather complete. degraded reports whether any shard
+// failed to deliver (its jobs were synthesised as skipped rows).
+func (st *fleetSweep) finish(degraded bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.finishedAt = time.Now()
+	if degraded {
+		st.status = StatusDegraded
+	} else {
+		st.status = StatusDone
+	}
+	st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
+	close(st.finished)
+}
+
+// view snapshots the sweep for the status endpoint.
+func (st *fleetSweep) view() SweepView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	jobs := make([]JobView, len(st.jobs))
+	copy(jobs, st.jobs)
+	return SweepView{
+		ID: st.id, Status: st.status, Created: st.created,
+		Finished: st.finishedAt,
+		Total:    st.total, Done: st.done, Jobs: jobs,
+	}
+}
+
+// terminalState reports whether the gather has finished.
+func (st *fleetSweep) terminalState() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.status == StatusDone || st.status == StatusDegraded
+}
+
+// snapshot returns the gathered records in global spec order, or
+// ok == false while shards are still delivering.
+func (st *fleetSweep) snapshot() (recs []allarm.Record, status string, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.status != StatusDone && st.status != StatusDegraded {
+		return nil, st.status, false
+	}
+	recs = make([]allarm.Record, len(st.records))
+	copy(recs, st.records)
+	return recs, st.status, true
+}
+
+// subscribe registers an SSE consumer (same incremental-history model
+// as a single daemon's stream).
+func (st *fleetSweep) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	st.mu.Lock()
+	st.subs[ch] = struct{}{}
+	st.mu.Unlock()
+	return ch
+}
+
+func (st *fleetSweep) unsubscribe(ch chan struct{}) {
+	st.mu.Lock()
+	delete(st.subs, ch)
+	st.mu.Unlock()
+}
+
+// eventsSince returns the history from index from on, plus whether the
+// sweep is final.
+func (st *fleetSweep) eventsSince(from int) ([]event, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	final := st.status == StatusDone || st.status == StatusDegraded
+	if from >= len(st.history) {
+		return nil, final
+	}
+	evs := make([]event, len(st.history)-from)
+	copy(evs, st.history[from:])
+	return evs, final
+}

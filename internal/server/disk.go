@@ -13,33 +13,66 @@ import (
 	allarm "allarm"
 )
 
-// diskStore is the persistent tier of the result cache: one file per
-// simulation result, content-addressed by Job.Key (the same
-// golden-tested fingerprint the in-memory LRU and Sweep.Dedup use), so
-// results survive daemon restarts and can be shared between daemons
-// pointed at the same directory.
+// ResultStore is the persistent tier of the result cache: a
+// content-addressed map from Job.Key (the same golden-tested
+// fingerprint the in-memory LRU and Sweep.Dedup use) to the complete
+// simulation result, shared safely between daemons because entries are
+// immutable once written (simulations are deterministic).
 //
-// Layout: <dir>/<sha256(key)>.json. Each file is a single diskEntry
-// JSON object on one line — the same one-object-per-line convention as
-// the drain checkpoints' NDJSON, so `jq` and log pipelines can process
-// a whole store with `cat dir/*.json`. The entry embeds the full
-// (un-hashed) key and is verified on read: a hash collision or a
-// foreign file can never serve the wrong simulation.
+// Two implementations ship with the package, both layered over the same
+// key-verified entry format by keyedStore: NewDiskStore (a local
+// directory — the PR 5 layout, for one node or nodes sharing a
+// filesystem) and NewObjectStore (an S3-style object API — a local
+// directory today or any HTTP endpoint speaking ObjectHandler's
+// GET/PUT protocol, so a fleet of allarm-serve shards can share results
+// without shared disks).
 //
-// Writes go through a temp file + rename, so a crash (SIGKILL) midway
-// leaves either the old content or none — never a torn entry. Entries
-// are immutable once written (simulations are deterministic), which is
-// what makes the store safe to share read-write between a draining old
-// daemon and its restarted successor.
-type diskStore struct {
-	dir string
-	// entries tracks the file count (seeded at open, bumped on new
-	// Puts) so /metrics scrapes don't pay a directory scan on an
-	// unbounded store.
+// Implementations must treat Get misses and corruption identically
+// (return false, never an error — the simulator can always regenerate),
+// must make Put atomic (concurrent readers and crash recovery only ever
+// see complete entries), and should make Len O(1) (it is scraped by
+// /metrics on an unbounded store).
+type ResultStore interface {
+	// Get returns the stored result for key, or false when the entry is
+	// absent, unreadable or fails key verification.
+	Get(key string) (*allarm.Result, bool)
+	// Put persists res under key, atomically.
+	Put(key string, res *allarm.Result) error
+	// Len reports the number of stored entries (approximate when another
+	// process writes concurrently).
+	Len() int
+}
+
+// objectBackend is the byte-level storage under a keyedStore: a flat
+// namespace of immutable, atomically-written objects. fsObjects backs
+// it with a directory, httpObjects with an S3-style HTTP API
+// (object.go). Splitting bytes from entry semantics is what makes the
+// disk and object stores byte-compatible: both write identical
+// diskEntry JSON under identical names.
+type objectBackend interface {
+	// get returns the object's bytes, or ok == false when absent.
+	get(name string) (data []byte, ok bool, err error)
+	// put writes the object atomically; created reports whether the name
+	// was new (Len bookkeeping).
+	put(name string, data []byte) (created bool, err error)
+	// count returns the number of stored objects (store open).
+	count() (int, error)
+}
+
+// keyedStore implements ResultStore over any objectBackend: it owns the
+// entry format (diskEntry JSON), the content addressing
+// (sha256(key).json names) and the key verification on read. It is the
+// one place results are encoded, so every backend serves byte-identical
+// results.
+type keyedStore struct {
+	objects objectBackend
+	// entries tracks the object count (seeded at open, bumped on new
+	// puts) so /metrics scrapes don't pay a listing on an unbounded
+	// store.
 	entries atomic.Int64
 }
 
-// diskEntry is the on-disk representation of one cached result. The
+// diskEntry is the stored representation of one cached result. The
 // Result keeps only its exported metrics — the raw per-node statistics
 // (Result.Raw) do not survive the round-trip — which is exactly what
 // the emitters consume, so served bytes stay identical to a fresh run.
@@ -49,35 +82,50 @@ type diskEntry struct {
 	Result  *allarm.Result `json:"result"`
 }
 
-// newDiskStore opens (creating if needed) a result store rooted at dir.
-func newDiskStore(dir string) (*diskStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("result store: %w", err)
-	}
-	d := &diskStore{dir: dir}
-	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+// newKeyedStore wraps an opened backend, seeding the entry counter.
+func newKeyedStore(objects objectBackend) (*keyedStore, error) {
+	n, err := objects.count()
 	if err != nil {
 		return nil, fmt.Errorf("result store: %w", err)
 	}
-	d.entries.Store(int64(len(names)))
-	return d, nil
+	s := &keyedStore{objects: objects}
+	s.entries.Store(int64(n))
+	return s, nil
 }
 
-// path maps a job key to its entry file. Keys are arbitrary strings
-// (they embed %+v-rendered configs), so the filename is the key's
-// SHA-256; the key itself is stored inside the entry and checked on Get.
-func (d *diskStore) path(key string) string {
+// NewDiskStore opens (creating if needed) a directory-backed
+// ResultStore rooted at dir: one <sha256(key)>.json file per result,
+// written via temp file + rename so a crash (SIGKILL) midway leaves
+// either the old content or none — never a torn entry. Each file is a
+// single diskEntry JSON object on one line — the same
+// one-object-per-line convention as the drain checkpoints' NDJSON, so
+// `jq` and log pipelines can process a whole store with `cat
+// dir/*.json`. Immutable entries make the directory safe to share
+// read-write between a draining old daemon and its restarted successor
+// (or a whole fleet on one filesystem).
+func NewDiskStore(dir string) (ResultStore, error) {
+	fs, err := newFSObjects(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newKeyedStore(fs)
+}
+
+// objectName maps a job key to its object name. Keys are arbitrary
+// strings (they embed %+v-rendered configs), so the name is the key's
+// SHA-256; the key itself is stored inside the entry and checked on Get
+// — a hash collision or a foreign object can never serve the wrong
+// simulation.
+func objectName(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
+	return hex.EncodeToString(sum[:]) + ".json"
 }
 
-// Get returns the stored result for key, or false when the entry is
-// absent, unreadable or fails key verification (corrupt entries are
-// treated as misses, never as errors: the simulator can always
-// regenerate them).
-func (d *diskStore) Get(key string) (*allarm.Result, bool) {
-	data, err := os.ReadFile(d.path(key))
-	if err != nil {
+// Get implements ResultStore (corrupt or mismatched entries are misses,
+// never errors: the simulator can always regenerate them).
+func (s *keyedStore) Get(key string) (*allarm.Result, bool) {
+	data, ok, err := s.objects.get(objectName(key))
+	if err != nil || !ok {
 		return nil, false
 	}
 	var e diskEntry
@@ -87,30 +135,68 @@ func (d *diskStore) Get(key string) (*allarm.Result, bool) {
 	return e.Result, true
 }
 
-// Put persists res under key, atomically (temp file + rename).
-func (d *diskStore) Put(key string, res *allarm.Result) error {
+// Put implements ResultStore.
+func (s *keyedStore) Put(key string, res *allarm.Result) error {
 	data, err := json.Marshal(diskEntry{Key: key, SavedAt: time.Now().UTC(), Result: res})
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	path := d.path(key)
-	_, statErr := os.Stat(path)
-	if err := atomicWrite(path, data); err != nil {
+	created, err := s.objects.put(objectName(key), data)
+	if err != nil {
 		return err
 	}
-	if os.IsNotExist(statErr) {
-		d.entries.Add(1)
+	if created {
+		s.entries.Add(1)
 	}
 	return nil
 }
 
-// Len reports the number of stored entries (metrics; the store itself
-// is unbounded — retention is the operator's via the content-addressed
-// filenames). It is an O(1) counter, approximate only if another
-// process writes the directory concurrently.
-func (d *diskStore) Len() int {
-	return int(d.entries.Load())
+// Len implements ResultStore (the store itself is unbounded — retention
+// is the operator's via the content-addressed names).
+func (s *keyedStore) Len() int {
+	return int(s.entries.Load())
+}
+
+// fsObjects is the directory objectBackend: one file per object,
+// written atomically.
+type fsObjects struct {
+	dir string
+}
+
+func newFSObjects(dir string) (fsObjects, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fsObjects{}, fmt.Errorf("result store: %w", err)
+	}
+	return fsObjects{dir: dir}, nil
+}
+
+func (f fsObjects) get(name string) ([]byte, bool, error) {
+	data, err := os.ReadFile(filepath.Join(f.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (f fsObjects) put(name string, data []byte) (bool, error) {
+	path := filepath.Join(f.dir, name)
+	_, statErr := os.Stat(path)
+	if err := atomicWrite(path, data); err != nil {
+		return false, err
+	}
+	return os.IsNotExist(statErr), nil
+}
+
+func (f fsObjects) count() (int, error) {
+	names, err := filepath.Glob(filepath.Join(f.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
 }
 
 // atomicWrite writes data to path via a same-directory temp file and

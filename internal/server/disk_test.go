@@ -9,7 +9,7 @@ import (
 )
 
 func TestDiskStoreRoundTrip(t *testing.T) {
-	d, err := newDiskStore(t.TempDir())
+	d, err := NewDiskStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 // key mismatches read as misses, never as wrong results.
 func TestDiskStoreRejectsCorruptEntries(t *testing.T) {
 	dir := t.TempDir()
-	d, err := newDiskStore(dir)
+	d, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestDiskStoreRejectsCorruptEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	path := d.path(key)
+	path := filepath.Join(dir, objectName(key))
 	for name, data := range map[string][]byte{
 		"truncated":    []byte(`{"key":"some-job-`),
 		"foreign":      []byte(`{"hello":"world"}`),
@@ -67,11 +67,11 @@ func TestDiskStoreRejectsCorruptEntries(t *testing.T) {
 // each other's writes — the sharing model for restarted daemons.
 func TestDiskStoreSharedBetweenStores(t *testing.T) {
 	dir := t.TempDir()
-	a, err := newDiskStore(dir)
+	a, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := newDiskStore(dir)
+	b, err := NewDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	allarm "allarm"
+)
+
+// sseFrame is one parsed "event:/data:" frame.
+type sseFrame struct {
+	typ  string
+	data []byte
+}
+
+// readStream subscribes to a sweep's event stream and blocks until the
+// server ends it (the sweep reached a final state).
+func readStream(base, id string) ([]sseFrame, error) {
+	resp, err := http.Get(base + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var frames []sseFrame
+	for _, block := range strings.Split(string(raw), "\n\n") {
+		var f sseFrame
+		for _, line := range strings.Split(block, "\n") {
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				f.typ = v
+			} else if v, ok := strings.CutPrefix(line, "data: "); ok {
+				f.data = []byte(v)
+			}
+		}
+		if f.typ != "" {
+			frames = append(frames, f)
+		}
+	}
+	return frames, nil
+}
+
+// checkReplay asserts one subscriber saw a complete, consistent
+// history regardless of when it attached: every job reaches "done",
+// the done counter never decreases, and the stream ends with the final
+// sweep event.
+func checkReplay(frames []sseFrame, total int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("empty stream")
+	}
+	terminal := make(map[int]bool)
+	lastDone := 0
+	var lastSweepStatus string
+	for _, f := range frames {
+		var ev struct {
+			Index  int    `json:"index"`
+			Status string `json:"status"`
+			Done   int    `json:"done"`
+			Total  int    `json:"total"`
+		}
+		if err := json.Unmarshal(f.data, &ev); err != nil {
+			return fmt.Errorf("frame %q: %w", f.data, err)
+		}
+		if ev.Total != total {
+			return fmt.Errorf("frame reports total %d, want %d", ev.Total, total)
+		}
+		if ev.Done < lastDone {
+			return fmt.Errorf("done counter went backwards: %d after %d", ev.Done, lastDone)
+		}
+		lastDone = ev.Done
+		switch f.typ {
+		case "job":
+			if ev.Status == JobDone {
+				terminal[ev.Index] = true
+			}
+		case "sweep":
+			lastSweepStatus = ev.Status
+		default:
+			return fmt.Errorf("unknown event type %q", f.typ)
+		}
+	}
+	if len(terminal) != total {
+		return fmt.Errorf("saw %d jobs reach done, want %d", len(terminal), total)
+	}
+	if lastSweepStatus != StatusDone {
+		return fmt.Errorf("stream ended on sweep status %q", lastSweepStatus)
+	}
+	if lastDone != total {
+		return fmt.Errorf("final done counter %d, want %d", lastDone, total)
+	}
+	return nil
+}
+
+// TestSSELateSubscribersReplay races many subscribers against a
+// completing sweep: some attach before any job finishes, some between
+// completions, some after the sweep is final. History replay means
+// every one of them must observe the identical complete story. Run
+// under -race this also exercises the publish/subscribe paths for data
+// races.
+func TestSSELateSubscribersReplay(t *testing.T) {
+	tokens := make(chan struct{})
+	_, base := newTestServer(t, Options{
+		Workers: 2,
+		RunJob: func(ctx context.Context, j allarm.Job) (*allarm.Result, error) {
+			select {
+			case <-tokens:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &allarm.Result{Benchmark: j.WorkloadName(), RuntimeNs: 1}, nil
+		},
+	})
+
+	benches := []string{"barnes", "blackscholes", "cholesky", "dedup", "fluidanimate", "x264"}
+	sr := submit(t, base, SweepRequest{
+		Benchmarks: benches,
+		Config:     &ConfigOverrides{Threads: 2, AccessesPerThread: 10},
+	})
+	total := len(benches)
+	if sr.Jobs != total {
+		t.Fatalf("expanded to %d jobs, want %d", sr.Jobs, total)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*total)
+	spawn := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			frames, err := readStream(base, sr.ID)
+			if err == nil {
+				err = checkReplay(frames, total)
+			}
+			errs <- err
+		}()
+	}
+
+	// Wave 1: subscribers attach while every job is still gated.
+	for i := 0; i < total; i++ {
+		spawn()
+	}
+	// Release jobs one at a time, attaching a fresh subscriber between
+	// each completion — each sees a different live/replayed split.
+	for i := 0; i < total; i++ {
+		tokens <- struct{}{}
+		spawn()
+	}
+	waitDone(t, base, sr.ID)
+	// Wave 3: pure replay after the sweep is final.
+	for i := 0; i < total; i++ {
+		spawn()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	allarm "allarm"
+)
+
+// newObjectServer serves the object protocol from a temp directory.
+func newObjectServer(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	h, err := ObjectHandler(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL, dir
+}
+
+func doReq(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestObjectProtocol drives the handler through the whole verb set.
+func TestObjectProtocol(t *testing.T) {
+	base, _ := newObjectServer(t)
+	name := objectName("some-key")
+	payload := []byte(`{"key":"some-key","result":{"Benchmark":"b"}}` + "\n")
+
+	// Empty store lists zero objects.
+	resp := doReq(t, "GET", base+"/", nil)
+	var count struct {
+		Objects int `json:"objects"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&count); err != nil || count.Objects != 0 {
+		t.Fatalf("empty listing: %v / %+v", err, count)
+	}
+
+	// First PUT creates (201), second overwrites (200).
+	if resp := doReq(t, "PUT", base+"/"+name, payload); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create PUT: status %d", resp.StatusCode)
+	}
+	if resp := doReq(t, "PUT", base+"/"+name, payload); resp.StatusCode != http.StatusOK {
+		t.Fatalf("overwrite PUT: status %d", resp.StatusCode)
+	}
+
+	// GET round-trips the bytes; HEAD reports size without a body.
+	resp = doReq(t, "GET", base+"/"+name, nil)
+	got := new(bytes.Buffer)
+	got.ReadFrom(resp.Body)
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("GET returned %q, want %q", got, payload)
+	}
+	resp = doReq(t, "HEAD", base+"/"+name, nil)
+	if resp.StatusCode != http.StatusOK || resp.ContentLength != int64(len(payload)) {
+		t.Fatalf("HEAD: status %d, length %d", resp.StatusCode, resp.ContentLength)
+	}
+
+	// Misses are 404; the listing now counts one object.
+	if resp := doReq(t, "GET", base+"/"+objectName("other"), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing object: status %d", resp.StatusCode)
+	}
+	resp = doReq(t, "GET", base+"/", nil)
+	if err := json.NewDecoder(resp.Body).Decode(&count); err != nil || count.Objects != 1 {
+		t.Fatalf("listing after put: %v / %+v", err, count)
+	}
+
+	// DELETE is not part of the protocol (objects are immutable).
+	if resp := doReq(t, "DELETE", base+"/"+name, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+}
+
+// TestObjectNameValidation: traversal and foreign names never reach the
+// filesystem.
+func TestObjectNameValidation(t *testing.T) {
+	base, _ := newObjectServer(t)
+	for _, name := range []string{
+		"noext", "UPPER.json", "a/b.json", "..%2fescape.json",
+		"with space.json", strings.Repeat("a", 130) + ".json",
+	} {
+		resp := doReq(t, "PUT", base+"/"+name, []byte("{}"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("name %q: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestObjectStoreOverHTTP: the HTTP-backed ResultStore round-trips
+// results through the object protocol with the same key verification as
+// the directory store.
+func TestObjectStoreOverHTTP(t *testing.T) {
+	base, dir := newObjectServer(t)
+	store, err := NewObjectStore(base, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "bench:x|false|{}|{Threads:2}"
+	res := &allarm.Result{Benchmark: "x", RuntimeNs: 7.5, Events: 3}
+	if _, ok := store.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := store.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Get(key)
+	if !ok || got.Benchmark != "x" || got.RuntimeNs != 7.5 {
+		t.Fatalf("round trip: %+v %v", got, ok)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", store.Len())
+	}
+
+	// The HTTP store and a directory store over the same files are the
+	// same store: byte-compatible entries, either direction.
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := disk.Get(key); !ok || got.Events != 3 {
+		t.Fatalf("disk store misses the HTTP store's write: %+v %v", got, ok)
+	}
+	if err := disk.Put("second-key", &allarm.Result{Benchmark: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := store.Get("second-key"); !ok || got.Benchmark != "y" {
+		t.Fatalf("HTTP store misses the disk store's write: %+v %v", got, ok)
+	}
+
+	// Key verification holds across the wire: a foreign entry stored
+	// under this key's name reads as a miss, never a wrong result.
+	bad, _ := json.Marshal(diskEntry{Key: "some-other-key", Result: res})
+	resp := doReq(t, "PUT", base+"/"+objectName("victim-key"), bad)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("planting mismatched entry: status %d", resp.StatusCode)
+	}
+	if _, ok := store.Get("victim-key"); ok {
+		t.Fatal("key-mismatched entry served as a hit")
+	}
+}
+
+// TestObjectStoreSharedBetweenDaemons is the fleet-storage acceptance
+// path: daemon A serves its results directory over the object protocol;
+// daemon B mounts it as its persistent tier; a sweep B never saw is
+// answered from A's results with zero simulations.
+func TestObjectStoreSharedBetweenDaemons(t *testing.T) {
+	objDir := t.TempDir()
+	sharedStore, err := NewDiskStore(objDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runsA, runsB atomic.Int64
+	_, baseA := newTestServer(t, Options{
+		Workers:        2,
+		Store:          sharedStore,
+		ObjectServeDir: objDir,
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
+			runsA.Add(1)
+			return &allarm.Result{Benchmark: j.WorkloadName(), RuntimeNs: 1}, nil
+		},
+	})
+	remote, err := NewObjectStore(baseA+"/v1/objects", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, baseB := newTestServer(t, Options{
+		Workers: 2,
+		Store:   remote,
+		RunJob: func(_ context.Context, j allarm.Job) (*allarm.Result, error) {
+			runsB.Add(1)
+			return &allarm.Result{Benchmark: j.WorkloadName(), RuntimeNs: 1}, nil
+		},
+	})
+
+	req := SweepRequest{
+		Benchmarks: []string{"barnes", "x264"},
+		Config:     &ConfigOverrides{Threads: 2, AccessesPerThread: 50},
+	}
+	waitDone(t, baseA, submit(t, baseA, req).ID)
+	if runsA.Load() != 2 {
+		t.Fatalf("daemon A ran %d jobs, want 2", runsA.Load())
+	}
+	waitDone(t, baseB, submit(t, baseB, req).ID)
+	if runsB.Load() != 0 {
+		t.Fatalf("daemon B re-ran %d jobs despite the shared object store", runsB.Load())
+	}
+	m := metricsOf(t, baseB)
+	if m.CacheDiskHits != 2 {
+		t.Errorf("daemon B disk-tier hits = %d, want 2", m.CacheDiskHits)
+	}
+}
+
+// TestObjectStoreAuth: an object endpoint behind a Guard accepts the
+// configured bearer and refuses anonymous writes.
+func TestObjectStoreAuth(t *testing.T) {
+	guard, err := NewGuard([]ClientConfig{{Token: "store-secret", Name: "peer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objDir := t.TempDir()
+	_, base := newTestServer(t, Options{Workers: 1, Guard: guard, ObjectServeDir: objDir})
+
+	// Anonymous access fails already at open (the store seeds its entry
+	// count through the guarded endpoint); a wrong token likewise.
+	if store, err := NewObjectStore(base+"/v1/objects", ""); err == nil {
+		if err := store.Put("k", &allarm.Result{Benchmark: "b"}); err == nil {
+			t.Fatal("anonymous PUT through the Guard succeeded")
+		}
+	}
+	if _, err := NewObjectStore(base+"/v1/objects", "wrong"); err == nil {
+		t.Fatal("wrong token opened the guarded store")
+	}
+
+	authed, err := NewObjectStore(base+"/v1/objects", "store-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authed.Put("k", &allarm.Result{Benchmark: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := authed.Get("k"); !ok || got.Benchmark != "b" {
+		t.Fatalf("authed round trip: %+v %v", got, ok)
+	}
+}
+
+// TestNewObjectStoreLocalPath: a non-URL base degrades to the directory
+// store — one flag (-result-store) covers both deployments.
+func TestNewObjectStoreLocalPath(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewObjectStore(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("k", &allarm.Result{Benchmark: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := disk.Get("k"); !ok {
+		t.Fatal("local object store did not use the disk layout")
+	}
+}

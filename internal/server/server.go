@@ -85,6 +85,19 @@ type Options struct {
 	// uploaded traces are persisted, and boot re-enqueues unfinished
 	// sweeps (see the package's Durability section for the layout).
 	CacheDir string
+	// Store, when non-nil, is the persistent result tier, replacing the
+	// <CacheDir>/results disk store — typically NewObjectStore, so fleet
+	// shards share results without shared disks. CacheDir (when also
+	// set) still persists sweep specs, traces and checkpoints locally.
+	Store ResultStore
+	// Guard, when non-nil, authenticates and rate-limits every request
+	// (see Guard) and enforces per-client job quotas at submit time.
+	Guard *Guard
+	// ObjectServeDir, when non-empty, additionally serves the S3-style
+	// object protocol (ObjectHandler) from that directory under
+	// /v1/objects/ — one shard's disk becoming the fleet's shared
+	// result store.
+	ObjectServeDir string
 	// CheckpointDir, when non-empty, receives one <sweep-id>.ndjson per
 	// sweep still in flight when Drain cancels it. Empty with a CacheDir
 	// defaults to <CacheDir>/checkpoints.
@@ -110,6 +123,7 @@ type Server struct {
 	opts          Options
 	workers       int
 	mux           *http.ServeMux
+	handler       http.Handler // mux behind the Guard (when configured)
 	ctx           context.Context
 	cancel        context.CancelFunc
 	sem           chan struct{}
@@ -162,13 +176,18 @@ func New(opts Options) (*Server, error) {
 	if s.runJob == nil {
 		s.runJob = func(ctx context.Context, j allarm.Job) (*allarm.Result, error) { return j.RunCtx(ctx) }
 	}
+	if opts.Store != nil {
+		s.cache.disk = opts.Store
+	}
 	if opts.CacheDir != "" {
-		disk, err := newDiskStore(filepath.Join(opts.CacheDir, "results"))
-		if err != nil {
-			cancel()
-			return nil, err
+		if s.cache.disk == nil {
+			disk, err := NewDiskStore(filepath.Join(opts.CacheDir, "results"))
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			s.cache.disk = disk
 		}
-		s.cache.disk = disk
 		s.sweepDir = filepath.Join(opts.CacheDir, "sweeps")
 		s.traceDir = filepath.Join(opts.CacheDir, "traces")
 		if s.checkpointDir == "" {
@@ -191,8 +210,18 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/version", handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.ObjectServeDir != "" {
+		oh, err := ObjectHandler(opts.ObjectServeDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.mux.Handle("/v1/objects/", http.StripPrefix("/v1/objects", oh))
+	}
+	s.handler = opts.Guard.Wrap(s.mux)
 	if err := s.recover(); err != nil {
 		cancel()
 		return nil, err
@@ -203,8 +232,15 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler (behind the Guard when one
+// is configured).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// handleVersion reports the build's allarm.Version — how fleet
+// operators (and allarm-router itself) verify shard/router build skew.
+func handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"version": allarm.Version})
+}
 
 // Close cancels everything immediately (tests; production uses Drain).
 func (s *Server) Close() { s.cancel() }
@@ -383,19 +419,40 @@ func (s *Server) evictExpired() {
 }
 
 // SweepRequest is the POST /v1/sweeps body: seed workloads crossed with
-// policies and probe-filter sizes, exactly like the Sweep combinators.
+// policies and probe-filter sizes, exactly like the Sweep combinators,
+// plus optional explicit per-job specs (Jobs).
 type SweepRequest struct {
 	// Benchmarks are preset names; Workloads are "bench:NAME" or
 	// "trace:ID" specs (IDs from POST /v1/traces). Together they seed
-	// the sweep; at least one is required.
+	// the crossed grid; at least one job (grid or explicit) is required.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	Workloads  []string `json:"workloads,omitempty"`
 	// Policies are registered policy names (default: baseline only).
 	Policies []string `json:"policies,omitempty"`
 	// PFKiB are probe-filter coverages to cross (default: the config's).
 	PFKiB []int `json:"pf_kib,omitempty"`
+	// Jobs are explicit per-job specs appended after the crossed grid,
+	// in order, NOT expanded by Policies/PFKiB — each carries its own.
+	// They express arbitrary job subsets the cross-product cannot, which
+	// is how allarm-router scatters a sweep: every shard receives
+	// exactly its hash-assigned jobs as an explicit list, in the global
+	// spec order, so the gathered results merge deterministically.
+	Jobs []JobSpec `json:"jobs,omitempty"`
 	// Config overrides the default experiment-scale configuration.
 	Config *ConfigOverrides `json:"config,omitempty"`
+}
+
+// JobSpec pins down one job exactly: a workload under one policy and
+// probe-filter size. Zero Policy/PFKiB keep the request config's
+// defaults, so a spec expands to the same Job — and therefore the same
+// golden-tested Job.Key — the crossed grid would have produced.
+type JobSpec struct {
+	// Workload is "bench:NAME" or "trace:ID".
+	Workload string `json:"workload"`
+	// Policy is a registered policy name ("" = the config's default).
+	Policy string `json:"policy,omitempty"`
+	// PFKiB is the probe-filter coverage (0 = the config's default).
+	PFKiB int `json:"pf_kib,omitempty"`
 }
 
 // ConfigOverrides are the Config fields the API exposes; zero values
@@ -418,10 +475,33 @@ type SubmitResponse struct {
 	Events  string `json:"events_url"`
 }
 
-// buildSweep validates the request and expands it into a Sweep.
+// buildSweep validates the request and expands it into a Sweep,
+// resolving trace:ID workloads against the upload store (memory first,
+// then the persisted copy).
 func (s *Server) buildSweep(req *SweepRequest) (*allarm.Sweep, error) {
+	return ExpandSweep(req, s.lookupTrace)
+}
+
+// lookupTrace resolves an uploaded trace id, falling back to the
+// persisted upload when it is not in memory (restart, or evicted
+// beyond maxTraces).
+func (s *Server) lookupTrace(id string) allarm.Workload {
+	s.mu.Lock()
+	wl := s.traces[id]
+	s.mu.Unlock()
+	if wl == nil {
+		wl = s.loadTraceFromDisk(id)
+	}
+	return wl
+}
+
+// RequestConfig resolves a request's configuration: the experiment-
+// scale default with the request's overrides applied. It is split from
+// ExpandSweep because allarm-router needs the same resolution to
+// compute shard-local Job.Keys.
+func RequestConfig(o *ConfigOverrides) allarm.Config {
 	cfg := allarm.ExperimentConfig()
-	if o := req.Config; o != nil {
+	if o != nil {
 		if o.FullScale {
 			cfg = allarm.DefaultConfig()
 		}
@@ -436,11 +516,49 @@ func (s *Server) buildSweep(req *SweepRequest) (*allarm.Sweep, error) {
 		}
 		cfg.CheckInvariants = o.CheckInvariants
 	}
+	return cfg
+}
+
+// ExpandSweep validates req and expands it into a Sweep: the crossed
+// grid (Benchmarks/Workloads × Policies × PFKiB) followed by the
+// explicit Jobs, in order. traces resolves "trace:ID" workload specs
+// (nil means traces are not supported). The expansion is deterministic
+// — the same request always yields the same jobs in the same order —
+// which both restart recovery and the router's scatter/gather merge
+// depend on. It is exported for allarm-router, which must expand a
+// request exactly like the shards it scatters to.
+func ExpandSweep(req *SweepRequest, traces func(id string) allarm.Workload) (*allarm.Sweep, error) {
+	cfg := RequestConfig(req.Config)
 
 	known := make(map[string]bool)
 	for _, b := range allarm.Benchmarks() {
 		known[b] = true
 	}
+	resolve := func(spec string) (allarm.Job, error) {
+		job := allarm.Job{Config: cfg}
+		switch {
+		case strings.HasPrefix(spec, "bench:"):
+			name := strings.TrimPrefix(spec, "bench:")
+			if !known[name] {
+				return job, fmt.Errorf("unknown benchmark %q (see GET /v1/benchmarks)", name)
+			}
+			job.Benchmark = name
+		case strings.HasPrefix(spec, "trace:"):
+			id := strings.TrimPrefix(spec, "trace:")
+			var wl allarm.Workload
+			if traces != nil {
+				wl = traces(id)
+			}
+			if wl == nil {
+				return job, fmt.Errorf("unknown trace %q (upload with POST /v1/traces)", id)
+			}
+			job.Workload = wl
+		default:
+			return job, fmt.Errorf("workload %q: want bench:NAME or trace:ID", spec)
+		}
+		return job, nil
+	}
+
 	var jobs []allarm.Job
 	for _, b := range req.Benchmarks {
 		if !known[b] {
@@ -449,35 +567,11 @@ func (s *Server) buildSweep(req *SweepRequest) (*allarm.Sweep, error) {
 		jobs = append(jobs, allarm.Job{Benchmark: b, Config: cfg})
 	}
 	for _, spec := range req.Workloads {
-		job := allarm.Job{Config: cfg}
-		switch {
-		case strings.HasPrefix(spec, "bench:"):
-			name := strings.TrimPrefix(spec, "bench:")
-			if !known[name] {
-				return nil, fmt.Errorf("unknown benchmark %q (see GET /v1/benchmarks)", name)
-			}
-			job.Benchmark = name
-		case strings.HasPrefix(spec, "trace:"):
-			id := strings.TrimPrefix(spec, "trace:")
-			s.mu.Lock()
-			wl := s.traces[id]
-			s.mu.Unlock()
-			if wl == nil {
-				// Not in memory (restart, or evicted beyond maxTraces):
-				// fall back to the persisted upload.
-				wl = s.loadTraceFromDisk(id)
-			}
-			if wl == nil {
-				return nil, fmt.Errorf("unknown trace %q (upload with POST /v1/traces)", id)
-			}
-			job.Workload = wl
-		default:
-			return nil, fmt.Errorf("workload %q: want bench:NAME or trace:ID", spec)
+		job, err := resolve(spec)
+		if err != nil {
+			return nil, err
 		}
 		jobs = append(jobs, job)
-	}
-	if len(jobs) == 0 {
-		return nil, fmt.Errorf("empty sweep: give at least one benchmark or workload")
 	}
 
 	sweep := allarm.NewSweep(jobs...)
@@ -502,6 +596,33 @@ func (s *Server) buildSweep(req *SweepRequest) (*allarm.Sweep, error) {
 		}
 		sweep.CrossPFSizes(sizes...)
 	}
+
+	// Explicit jobs ride after the grid, uncrossed: each spec carries
+	// its own policy and probe-filter size.
+	for _, js := range req.Jobs {
+		job, err := resolve(js.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if js.Policy != "" {
+			p, err := allarm.ParsePolicy(js.Policy)
+			if err != nil {
+				return nil, err
+			}
+			job.Config.Policy = p
+		}
+		if js.PFKiB < 0 {
+			return nil, fmt.Errorf("pf_kib must be positive, got %d", js.PFKiB)
+		}
+		if js.PFKiB > 0 {
+			job.Config.PFBytes = js.PFKiB << 10
+		}
+		sweep.Add(job)
+	}
+
+	if sweep.Len() == 0 {
+		return nil, fmt.Errorf("empty sweep: give at least one benchmark, workload or job")
+	}
 	return sweep, nil
 }
 
@@ -515,6 +636,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sweep, err := s.buildSweep(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := CheckJobQuota(r, sweep.Len()); err != nil {
+		writeError(w, http.StatusForbidden, err)
 		return
 	}
 
@@ -757,35 +882,40 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is %s; results are available once it is done", st.id, status))
 		return
 	}
-	format, err := negotiateFormat(r)
+	format, err := NegotiateFormat(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var (
-		emitter allarm.Emitter
-		ctype   string
-	)
-	switch format {
-	case "csv":
-		emitter, ctype = allarm.CSVEmitter{}, "text/csv; charset=utf-8"
-	case "ndjson":
-		emitter, ctype = allarm.NDJSONEmitter{}, "application/x-ndjson"
-	case "table":
-		emitter, ctype = &allarm.TableEmitter{}, "text/plain; charset=utf-8"
-	default:
-		emitter, ctype = allarm.JSONEmitter{Indent: true}, "application/json"
-	}
+	emitter, ctype := FormatEmitter(format)
 	w.Header().Set("Content-Type", ctype)
 	if err := emitter.Emit(w, results); err != nil {
 		s.logf("sweep %s: emit: %v", st.id, err)
 	}
 }
 
-// negotiateFormat picks the results rendering: an explicit ?format=
+// FormatEmitter maps a negotiated format name to its emitter and
+// content type. Exported for allarm-router, which renders gathered
+// Records through exactly these emitters — the single code path is
+// what makes fleet output byte-identical to a single daemon's.
+func FormatEmitter(format string) (allarm.RecordEmitter, string) {
+	switch format {
+	case "csv":
+		return allarm.CSVEmitter{}, "text/csv; charset=utf-8"
+	case "ndjson":
+		return allarm.NDJSONEmitter{}, "application/x-ndjson"
+	case "table":
+		return &allarm.TableEmitter{}, "text/plain; charset=utf-8"
+	default:
+		return allarm.JSONEmitter{Indent: true}, "application/json"
+	}
+}
+
+// NegotiateFormat picks the results rendering: an explicit ?format=
 // wins (unknown values are an error, like every other request field),
-// then the Accept header, then JSON.
-func negotiateFormat(r *http.Request) (string, error) {
+// then the Accept header, then JSON. Exported for allarm-router, whose
+// results endpoint must negotiate exactly like the shards'.
+func NegotiateFormat(r *http.Request) (string, error) {
 	switch f := r.URL.Query().Get("format"); f {
 	case "csv", "ndjson", "table", "json":
 		return f, nil

@@ -81,11 +81,14 @@ func (j Job) workloadKey() string {
 
 // Key returns a stable fingerprint identifying the simulation the job
 // performs: two jobs with equal keys produce identical Results. It
-// drives Sweep.Dedup and is the content address of the serving result
-// cache (internal/server, cmd/allarm-serve), so a job's key is part of
-// the package's compatibility surface — golden-tested by the
-// TestJobKeyGolden* tests — and must only change when the simulation
-// semantics actually change (for example, Config gaining a
+// drives Sweep.Dedup, is the content address of the serving result
+// cache (internal/server, cmd/allarm-serve), and is the sharding key
+// allarm-router consistent-hashes to place jobs on fleet nodes — equal
+// keys always land on the same shard, which is what keeps per-shard
+// caches coherent without any cross-node invalidation. A job's key is
+// therefore part of the package's compatibility surface — golden-tested
+// by the TestJobKeyGolden* tests — and must only change when the
+// simulation semantics actually change (for example, Config gaining a
 // behaviour-affecting field). Silent drift would make the service cache
 // conflate distinct simulations or miss identical ones.
 func (j Job) Key() string {

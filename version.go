@@ -1,0 +1,13 @@
+package allarm
+
+// Version identifies the library and every cmd/ binary built from this
+// tree — the five tools print it for -version and the daemons serve it
+// at GET /v1/version. A fleet is expected to run one version end to end:
+// allarm-router compares its own Version against each shard's so
+// operators can catch router/shard build skew before it turns into
+// subtly different simulations behind one cache key.
+//
+// Bump it with every release-worthy change; Job.Key intentionally does
+// NOT include it (identical simulation semantics across versions must
+// keep their cache entries — the golden key tests are the guard).
+const Version = "0.6.0"
