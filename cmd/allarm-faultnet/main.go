@@ -1,0 +1,136 @@
+// Command allarm-faultnet stands a deterministic chaos proxy between
+// real allarm processes — typically between allarm-router and its
+// allarm-serve shards — applying a declarative, seeded fault plan
+// (internal/faultnet) to the traffic flowing through it. The same plan
+// JSON drives the in-process harness the fleet tests use, so a failure
+// found in CI chaos replays verbatim as a unit test, and vice versa.
+//
+// Usage:
+//
+//	allarm-faultnet -listen :9347 -target http://127.0.0.1:8347 -plan plan.json -seed 42
+//	allarm-faultnet -listen :9347 -target 127.0.0.1:8347 -tcp -plan plan.json -seed 42
+//
+// The default mode is an HTTP reverse proxy: Status rules synthesize
+// 5xx/429 answers (with Retry-After), Drop rules sever the client's
+// connection without an HTTP answer, latency and slow-body rules shape
+// forwarded traffic, and SSE streams flush through unbuffered. With
+// -tcp the proxy works at the connection level instead: conn-scoped
+// rules refuse, delay and RST-reset raw streams, below anything HTTP
+// retries can see coming.
+//
+// A fixed -seed replays the identical fault sequence whenever traffic
+// arrives in the same order. On shutdown the per-rule matched/fired
+// counters go to stderr, so a "passed" chaos run can be audited for
+// whether its faults actually fired.
+//
+// An example plan:
+//
+//	{"rules": [
+//	  {"name": "outage", "method": "POST", "path": "/v1/sweeps", "status": 503, "count": 2},
+//	  {"name": "throttle", "status": 429, "retry_after_ms": 1000, "p": 0.1},
+//	  {"name": "jitter", "latency_ms": 5, "jitter_ms": 20, "p": 0.5}
+//	]}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	allarm "allarm"
+	"allarm/internal/faultnet"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen  = flag.String("listen", ":9347", "proxy listen address (host:port; port 0 picks one)")
+		target  = flag.String("target", "", "upstream: a base URL (HTTP mode) or host:port (-tcp mode)")
+		planP   = flag.String("plan", "", "JSON fault plan (required; empty rules = transparent proxy)")
+		seed    = flag.Int64("seed", 1, "RNG seed: same plan + seed + arrival order = same faults")
+		tcp     = flag.Bool("tcp", false, "proxy raw TCP instead of HTTP (uses conn-scoped rules)")
+		version = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("allarm-faultnet", allarm.Version)
+		return 0
+	}
+	if *target == "" || *planP == "" {
+		fmt.Fprintln(os.Stderr, "allarm-faultnet: -target and -plan are required")
+		return 2
+	}
+	plan, err := faultnet.LoadPlan(*planP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		return 1
+	}
+	inj, err := faultnet.New(plan, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The stats audit runs on every exit path: a chaos run whose rules
+	// never fired is a green light that tested nothing.
+	defer func() {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		enc.Encode(inj.Stats())
+	}()
+
+	if *tcp {
+		p, err := inj.ProxyTCP(*listen, *target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+			return 1
+		}
+		defer p.Close()
+		fmt.Printf("allarm-faultnet: tcp %s -> %s (%d rules, seed %d)\n", p.Addr(), *target, len(plan.Rules), *seed)
+		<-ctx.Done()
+		return 0
+	}
+
+	tu, err := url.Parse(*target)
+	if err != nil || tu.Scheme == "" || tu.Host == "" {
+		fmt.Fprintf(os.Stderr, "allarm-faultnet: -target must be a base URL in HTTP mode (got %q)\n", *target)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		return 1
+	}
+	// Resolved address to stdout, same contract as the daemons: scripts
+	// use -listen :0 and scrape the port.
+	fmt.Printf("allarm-faultnet: http %s -> %s (%d rules, seed %d)\n", ln.Addr(), *target, len(plan.Rules), *seed)
+	hs := &http.Server{
+		Handler:           inj.Proxy(tu),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	hs.Shutdown(sctx)
+	return 0
+}

@@ -1,17 +1,21 @@
 // Command allarm-router fronts a fleet of allarm-serve shards with the
-// same sweep API a single daemon speaks. It is stateless by design:
-// jobs are consistent-hashed onto shards by the same content key the
-// shards cache under, so identical jobs always land where their result
-// is already warm, and a router restart (or a second router beside the
-// first) loses nothing.
+// same sweep API a single daemon speaks. Jobs are consistent-hashed
+// onto shards by the same content key the shards cache under, so
+// identical jobs always land where their result is already warm. All
+// simulation results live in the shards; with -state-dir the router
+// additionally journals every accepted sweep so a crash or SIGKILL
+// mid-gather resumes — under the original sweep ids, with byte-identical
+// results and zero re-simulations — at the next boot.
 //
 // Usage:
 //
 //	allarm-router -shards http://s1:8347,http://s2:8347
 //	allarm-router -addr :8350 -shards ... -shard-token fleet-secret
 //	allarm-router -auth tokens.json       # client-facing bearer auth
+//	allarm-router -state-dir /var/lib/allarm-router   # sweep journal
+//	allarm-router -shards-file fleet.txt  # SIGHUP re-reads it
 //	allarm-router -health-interval 5s -fail-after 3
-//	allarm-router -attempts 4 -retry-backoff 250ms
+//	allarm-router -attempts 4 -retry-backoff 250ms -shard-timeout 30s
 //
 // A sweep submitted here is expanded exactly as a single daemon would
 // expand it, scattered to the owning shards as explicit job lists,
@@ -19,11 +23,13 @@
 // csv, table) renders byte-identically to a single-node run. Shards
 // are health-checked and routed around; a shard lost mid-sweep
 // degrades that sweep's jobs to "skipped" rather than failing the
-// gather. GET /metrics reports per-shard request, retry and unhealthy
-// interval counters.
+// gather, and a later membership change or readmission re-queues those
+// jobs onto their new owner. The fleet's shard set can be changed at
+// runtime via POST/DELETE /v1/shards (admin-scoped when -auth is set)
+// or by sending SIGHUP to re-read -shards-file. GET /metrics reports
+// per-shard request, retry and unhealthy interval counters.
 //
-// See the "Fleet serving" section of README.md for a two-shard
-// quickstart.
+// See the "Fleet serving" and "Fault tolerance" sections of README.md.
 package main
 
 import (
@@ -49,34 +55,66 @@ func main() {
 	os.Exit(run())
 }
 
+// readShardsFile parses a shard list file: one URL per line, blank
+// lines and #-comments ignored.
+func readShardsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var urls []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		urls = append(urls, line)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("%s: no shard URLs", path)
+	}
+	return urls, nil
+}
+
 func run() int {
 	var (
-		addr       = flag.String("addr", ":8350", "listen address (host:port; port 0 picks one)")
-		shards     = flag.String("shards", "", "comma-separated allarm-serve base URLs (required)")
-		shardToken = flag.String("shard-token", "", "bearer token the router presents to shards")
-		authFile   = flag.String("auth", "", "JSON file of client tokens (bearer auth, rate limits, job quotas)")
-		replicas   = flag.Int("replicas", 0, "virtual nodes per shard on the hash ring (0 = default)")
-		healthIvl  = flag.Duration("health-interval", 0, "shard health probe interval (0 = default 2s)")
-		failAfter  = flag.Int("fail-after", 0, "consecutive probe failures before a shard is excluded (0 = default 2)")
-		attempts   = flag.Int("attempts", 0, "attempts per shard request before giving up (0 = default 3)")
-		backoff    = flag.Duration("retry-backoff", 0, "base backoff between retries, doubled per attempt (0 = default 100ms)")
-		reqTimeout = flag.Duration("request-timeout", 0, "per-request timeout against shards (0 = default 30s)")
-		version    = flag.Bool("version", false, "print version and exit")
+		addr         = flag.String("addr", ":8350", "listen address (host:port; port 0 picks one)")
+		shards       = flag.String("shards", "", "comma-separated allarm-serve base URLs")
+		shardsFile   = flag.String("shards-file", "", "file of shard URLs, one per line (SIGHUP re-reads it)")
+		shardToken   = flag.String("shard-token", "", "bearer token the router presents to shards")
+		authFile     = flag.String("auth", "", "JSON file of client tokens (bearer auth, rate limits, job quotas; \"admin\": true unlocks /v1/shards)")
+		stateDir     = flag.String("state-dir", "", "journal directory: accepted sweeps survive router restarts (empty = in-memory only)")
+		replicas     = flag.Int("replicas", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		healthIvl    = flag.Duration("health-interval", 0, "shard health probe interval (0 = default 2s)")
+		failAfter    = flag.Int("fail-after", 0, "consecutive probe failures before a shard is excluded (0 = default 2)")
+		attempts     = flag.Int("attempts", 0, "attempts per shard request before giving up (0 = default 3)")
+		backoff      = flag.Duration("retry-backoff", 0, "base backoff between retries, doubled per attempt with full jitter (0 = default 100ms)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-attempt deadline on every shard call (0 = default 30s)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "deprecated alias for -shard-timeout")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-router", allarm.Version)
 		return 0
 	}
-	if *shards == "" {
-		fmt.Fprintln(os.Stderr, "allarm-router: -shards is required (comma-separated allarm-serve URLs)")
-		return 2
-	}
+
 	var shardList []string
+	if *shardsFile != "" {
+		var err error
+		if shardList, err = readShardsFile(*shardsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "allarm-router:", err)
+			return 1
+		}
+	}
 	for _, s := range strings.Split(*shards, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			shardList = append(shardList, s)
 		}
+	}
+	if len(shardList) == 0 {
+		fmt.Fprintln(os.Stderr, "allarm-router: -shards or -shards-file is required (allarm-serve URLs)")
+		return 2
 	}
 
 	opts := fleet.Options{
@@ -87,7 +125,9 @@ func run() int {
 		FailAfter:      *failAfter,
 		Attempts:       *attempts,
 		RetryBackoff:   *backoff,
+		ShardTimeout:   *shardTimeout,
 		RequestTimeout: *reqTimeout,
+		StateDir:       *stateDir,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "allarm-router: "+format+"\n", args...)
 		},
@@ -110,6 +150,29 @@ func run() int {
 		return 1
 	}
 	defer rt.Close()
+
+	// SIGHUP re-reads -shards-file and swaps the membership: moved keys
+	// re-dispatch, skipped jobs get their new owners, the change is
+	// journaled. Without -shards-file there is nothing to reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if *shardsFile == "" {
+				fmt.Fprintln(os.Stderr, "allarm-router: SIGHUP ignored (no -shards-file to reload)")
+				continue
+			}
+			urls, err := readShardsFile(*shardsFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "allarm-router: reload:", err)
+				continue
+			}
+			if err := rt.SetShards(urls); err != nil {
+				fmt.Fprintln(os.Stderr, "allarm-router: reload:", err)
+			}
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -135,4 +135,26 @@
 // bearer tokens, token-bucket rate limits and per-sweep job quotas
 // (-auth). See the "Fleet serving" section of README.md for a
 // two-shard quickstart.
+//
+// # Fault tolerance
+//
+// With -state-dir the router stops being forgettable: every accepted
+// sweep is journaled (request, expanded job list, per-shard
+// assignment, per-job result checkpoints) with atomic tmp+rename
+// writes, and a restarted router recovers in-flight sweeps under their
+// original ids — re-asking the shards, whose content-addressed caches
+// answer without re-simulating, so a SIGKILL mid-gather costs nothing
+// but the restart. The shard set is mutable at runtime via
+// GET/POST/DELETE /v1/shards (admin-scoped when -auth is set) or
+// SIGHUP re-reading -shards-file; membership changes re-queue skipped
+// jobs onto their new owners and are journaled so recovery boots with
+// the current ring. Retries honor Retry-After on 429 and otherwise use
+// seeded full-jitter exponential backoff, with a -shard-timeout
+// deadline on every attempt. These claims are asserted under
+// deterministic chaos: internal/faultnet turns declarative JSON fault
+// plans (latency, drops, resets, 5xx/429 bursts, slow bodies) into a
+// seeded http.RoundTripper the fleet tests inject in-process, and
+// cmd/allarm-faultnet runs the same plans as an HTTP or TCP proxy
+// between real processes. See the "Fault tolerance" section of
+// README.md.
 package allarm

@@ -1,0 +1,366 @@
+// Package faultnet is a deterministic fault-injection harness for the
+// fleet's network paths: a declarative Plan of faults (latency, dropped
+// connections, resets, 5xx/429 bursts, slow bodies, health-check flaps)
+// applied by a seeded Injector, so every robustness claim the router
+// makes — retry, backoff, exclusion, re-admission, degradation, journal
+// recovery — can be asserted under replayable chaos instead of
+// hand-rolled one-off stubs.
+//
+// The same Injector drives two delivery mechanisms:
+//
+//   - RoundTripper wraps an http.RoundTripper, injecting faults into
+//     in-process clients (the router's shard transport in tests).
+//   - Proxy / ProxyTCP stand between real processes: an HTTP reverse
+//     proxy that can synthesize statuses, delay, drop and slow
+//     responses, and a raw TCP proxy that refuses, delays and resets
+//     connections at the byte level (cmd/allarm-faultnet exposes both).
+//
+// # Determinism
+//
+// Faults fire from two sources, both replayable. Window rules (Skip /
+// Count / Every) count matching requests per rule and fire on exact
+// match ordinals — fully deterministic regardless of scheduling, which
+// is what tests assert exact behaviour against. Probabilistic rules
+// (P < 1) draw from one seeded RNG under a lock: a fixed seed replays
+// the same decision sequence whenever requests arrive in the same
+// order, which is what the chaos suites use for coverage. Plans are
+// plain JSON so CI jobs and tests share them verbatim.
+package faultnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Plan is a declarative fault schedule: an ordered rule list evaluated
+// per request (or per connection, for conn-scoped rules). Every rule
+// that matches contributes its faults; the first terminal fault (drop,
+// reset or synthesized status) wins and stops evaluation, while
+// latency from earlier matching rules accumulates.
+type Plan struct {
+	Rules []Rule `json:"rules"`
+}
+
+// Rule matches a slice of traffic and names the fault to inject.
+// Matching is by scope, method, host and path prefix; the window fields
+// (Skip, Count, Every, P) select which of the matching requests
+// actually fault.
+type Rule struct {
+	// Name labels the rule in logs, stats and injected errors.
+	Name string `json:"name,omitempty"`
+
+	// Scope selects the traffic class: "http" (default) matches HTTP
+	// requests seen by RoundTripper and Proxy; "conn" matches raw TCP
+	// connections seen by ProxyTCP.
+	Scope string `json:"scope,omitempty"`
+	// Method matches the HTTP method exactly ("" = any).
+	Method string `json:"method,omitempty"`
+	// Host matches the request host:port exactly ("" = any).
+	Host string `json:"host,omitempty"`
+	// Path matches the URL path by prefix ("" = any).
+	Path string `json:"path,omitempty"`
+
+	// Skip lets the first N matching requests through untouched before
+	// the rule arms — "the 3rd submit fails" is Skip: 2.
+	Skip int `json:"skip,omitempty"`
+	// Count bounds how many times the rule fires (0 = unlimited) — a
+	// burst of exactly N faults.
+	Count int `json:"count,omitempty"`
+	// Every fires on every Nth armed match (0 or 1 = every match) — a
+	// deterministic health-check flap is Path:"/healthz", Every:2.
+	Every int `json:"every,omitempty"`
+	// P fires with this probability per armed match (0 or 1 = always),
+	// drawn from the Injector's seeded RNG.
+	P float64 `json:"p,omitempty"`
+
+	// LatencyMs delays the request before it is forwarded; JitterMs adds
+	// a uniform random extra on top (seeded RNG).
+	LatencyMs int `json:"latency_ms,omitempty"`
+	JitterMs  int `json:"jitter_ms,omitempty"`
+	// Drop fails the request with a transport-level error (HTTP scope)
+	// or closes the connection on accept (conn scope) — the client sees
+	// a reset, not an HTTP answer.
+	Drop bool `json:"drop,omitempty"`
+	// Status synthesizes this HTTP response instead of forwarding (5xx
+	// outage, 429 throttle, flapping /healthz...).
+	Status int `json:"status,omitempty"`
+	// RetryAfterMs sets a Retry-After header on synthesized responses
+	// (rounded up to whole seconds, the header's granularity).
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// SlowBodyMs delays every body read/write chunk — a shard that
+	// answers but dribbles.
+	SlowBodyMs int `json:"slow_body_ms,omitempty"`
+	// ResetAfterBytes (conn scope) forwards this many target→client
+	// bytes, then resets both sides mid-stream.
+	ResetAfterBytes int `json:"reset_after_bytes,omitempty"`
+}
+
+// LoadPlan reads a JSON Plan from path.
+func LoadPlan(path string) (Plan, error) {
+	var p Plan
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, fmt.Errorf("faultnet: %w", err)
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("faultnet: %s: %w", path, err)
+	}
+	return p, p.validate()
+}
+
+func (p Plan) validate() error {
+	for i, r := range p.Rules {
+		switch r.Scope {
+		case "", "http", "conn":
+		default:
+			return fmt.Errorf("faultnet: rule %d (%s): unknown scope %q", i, r.Name, r.Scope)
+		}
+		if r.P < 0 || r.P > 1 {
+			return fmt.Errorf("faultnet: rule %d (%s): p must be in [0,1]", i, r.Name)
+		}
+	}
+	return nil
+}
+
+// RuleStats reports one rule's activity: how many requests matched its
+// selectors and how many actually faulted.
+type RuleStats struct {
+	Name    string `json:"name"`
+	Matched uint64 `json:"matched"`
+	Fired   uint64 `json:"fired"`
+}
+
+// Injector applies a Plan deterministically. One Injector carries all
+// per-rule counters and the seeded RNG; share it between a
+// RoundTripper and proxies to keep one global fault sequence.
+type Injector struct {
+	rules []Rule
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	matched []uint64
+	fired   []uint64
+}
+
+// New returns an Injector for plan. The seed fixes every probabilistic
+// decision: same plan, same seed, same request order — same faults.
+func New(plan Plan, seed int64) (*Injector, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		rules:   plan.Rules,
+		rng:     rand.New(rand.NewSource(seed)),
+		matched: make([]uint64, len(plan.Rules)),
+		fired:   make([]uint64, len(plan.Rules)),
+	}, nil
+}
+
+// Stats snapshots per-rule match/fire counters (chaos jobs log them so
+// a "passed" run can be audited for whether faults actually fired).
+func (in *Injector) Stats() []RuleStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]RuleStats, len(in.rules))
+	for i, r := range in.rules {
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("rule-%d", i)
+		}
+		out[i] = RuleStats{Name: name, Matched: in.matched[i], Fired: in.fired[i]}
+	}
+	return out
+}
+
+// decision is the merged outcome of all matching rules for one request.
+type decision struct {
+	latency    time.Duration
+	drop       bool
+	status     int
+	retryAfter time.Duration
+	slowBody   time.Duration
+	resetAfter int
+	rule       string // name of the terminal rule, for error messages
+}
+
+func (d decision) terminal() bool { return d.drop || d.status != 0 }
+
+// decide evaluates the plan for one request/connection. Counters and
+// RNG advance under the lock, so the decision sequence is a pure
+// function of (plan, seed, arrival order).
+func (in *Injector) decide(scope, method, host, path string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d decision
+	for i, r := range in.rules {
+		rScope := r.Scope
+		if rScope == "" {
+			rScope = "http"
+		}
+		if rScope != scope {
+			continue
+		}
+		if r.Method != "" && r.Method != method {
+			continue
+		}
+		if r.Host != "" && r.Host != host {
+			continue
+		}
+		if r.Path != "" && !strings.HasPrefix(path, r.Path) {
+			continue
+		}
+		in.matched[i]++
+		if in.matched[i] <= uint64(r.Skip) {
+			continue
+		}
+		armed := in.matched[i] - uint64(r.Skip)
+		if r.Count > 0 && in.fired[i] >= uint64(r.Count) {
+			continue
+		}
+		if r.Every > 1 && (armed-1)%uint64(r.Every) != 0 {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && in.rng.Float64() >= r.P {
+			continue
+		}
+		in.fired[i]++
+
+		if r.LatencyMs > 0 || r.JitterMs > 0 {
+			lat := time.Duration(r.LatencyMs) * time.Millisecond
+			if r.JitterMs > 0 {
+				lat += time.Duration(in.rng.Int63n(int64(r.JitterMs)+1)) * time.Millisecond
+			}
+			d.latency += lat
+		}
+		if r.SlowBodyMs > 0 && d.slowBody == 0 {
+			d.slowBody = time.Duration(r.SlowBodyMs) * time.Millisecond
+		}
+		if r.ResetAfterBytes > 0 && d.resetAfter == 0 {
+			d.resetAfter = r.ResetAfterBytes
+		}
+		if r.Drop || r.Status != 0 {
+			d.drop = r.Drop
+			d.status = r.Status
+			d.retryAfter = time.Duration(r.RetryAfterMs) * time.Millisecond
+			d.rule = r.Name
+			if d.rule == "" {
+				d.rule = fmt.Sprintf("rule-%d", i)
+			}
+			break // first terminal fault wins
+		}
+	}
+	return d
+}
+
+// DroppedError is the transport-level failure injected for Drop rules;
+// callers treating transport errors as retryable see exactly that.
+type DroppedError struct{ Rule string }
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("faultnet: connection reset by rule %s", e.Rule)
+}
+
+// RoundTripper wraps next with the injector's plan: the in-process
+// delivery mechanism, for pointing a client's transport at chaos
+// without any proxy between (nil next = http.DefaultTransport).
+func (in *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &faultTransport{in: in, next: next}
+}
+
+type faultTransport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.decide("http", req.Method, req.URL.Host, req.URL.Path)
+	if d.latency > 0 {
+		if err := sleepCtx(req.Context(), d.latency); err != nil {
+			return nil, err
+		}
+	}
+	if d.drop {
+		return nil, &DroppedError{Rule: d.rule}
+	}
+	if d.status != 0 {
+		return synthResponse(req, d), nil
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err == nil && d.slowBody > 0 {
+		resp.Body = &slowBody{rc: resp.Body, delay: d.slowBody, ctx: req.Context()}
+	}
+	return resp, err
+}
+
+// synthResponse fabricates the faulted HTTP answer for a Status rule.
+func synthResponse(req *http.Request, d decision) *http.Response {
+	body := fmt.Sprintf("{\"error\":\"faultnet: injected %d by rule %s\"}\n", d.status, d.rule)
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	setRetryAfter(h, d.retryAfter)
+	return &http.Response{
+		StatusCode:    d.status,
+		Status:        fmt.Sprintf("%d %s", d.status, http.StatusText(d.status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// setRetryAfter writes a Retry-After header, rounding up to the whole
+// seconds the header speaks.
+func setRetryAfter(h http.Header, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	h.Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// slowBody meters reads: one injected delay per Read call.
+type slowBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+	ctx   context.Context
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if err := sleepCtx(s.ctx, s.delay); err != nil {
+		return 0, err
+	}
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }
+
+// sleepCtx sleeps for d, aborting early if ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,330 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWindowRulesExactOrdinals: Skip/Count/Every fire on exact match
+// ordinals, independent of seed — the determinism tests assert against.
+func TestWindowRulesExactOrdinals(t *testing.T) {
+	plan := Plan{Rules: []Rule{
+		{Name: "burst", Path: "/a", Skip: 2, Count: 3, Status: 503},
+		{Name: "flap", Path: "/h", Every: 2, Status: 500},
+	}}
+	in, err := New(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for i := 0; i < 8; i++ {
+		d := in.decide("http", "GET", "x", "/a")
+		got = append(got, d.status)
+	}
+	// Skip 2, then a burst of exactly 3, then clean.
+	want := []int{0, 0, 503, 503, 503, 0, 0, 0}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("burst pattern %v, want %v", got, want)
+	}
+	got = got[:0]
+	for i := 0; i < 6; i++ {
+		d := in.decide("http", "GET", "x", "/h")
+		got = append(got, d.status)
+	}
+	// Every 2: fire on armed matches 1, 3, 5 — a deterministic flap.
+	want = []int{500, 0, 500, 0, 500, 0}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("flap pattern %v, want %v", got, want)
+	}
+}
+
+// TestSeededDeterminism: same plan + seed + arrival order replays the
+// identical decision sequence; a different seed diverges.
+func TestSeededDeterminism(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Name: "p50", P: 0.5, Drop: true}}}
+	seq := func(seed int64) string {
+		in, err := New(plan, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.decide("http", "GET", "x", "/").drop {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := seq(42), seq(42)
+	if a != b {
+		t.Errorf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := seq(43); c == a {
+		t.Errorf("different seeds produced identical sequences (%s)", a)
+	}
+	if !strings.Contains(a, "1") || !strings.Contains(a, "0") {
+		t.Errorf("p=0.5 sequence degenerate: %s", a)
+	}
+}
+
+// TestRuleMatchers: scope, method, host and path-prefix selection.
+func TestRuleMatchers(t *testing.T) {
+	plan := Plan{Rules: []Rule{
+		{Name: "post-only", Method: "POST", Status: 500},
+		{Name: "conn-only", Scope: "conn", Drop: true},
+		{Name: "host", Host: "h1:1", Path: "/v1/", Status: 502},
+	}}
+	in, err := New(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.decide("http", "GET", "h2:1", "/x"); d.terminal() {
+		t.Errorf("unmatched request faulted: %+v", d)
+	}
+	if d := in.decide("http", "POST", "h2:1", "/x"); d.status != 500 {
+		t.Errorf("method match: %+v", d)
+	}
+	if d := in.decide("http", "GET", "h1:1", "/v1/sweeps"); d.status != 502 {
+		t.Errorf("host+path match: %+v", d)
+	}
+	if d := in.decide("http", "GET", "h1:1", "/healthz"); d.terminal() {
+		t.Errorf("path prefix over-matched: %+v", d)
+	}
+	if d := in.decide("conn", "", "any", ""); !d.drop {
+		t.Errorf("conn scope: %+v", d)
+	}
+}
+
+// TestRoundTripperFaults: drops become transport errors, statuses are
+// synthesized with Retry-After, latency delays, slow bodies meter reads
+// — and untargeted requests pass through untouched.
+func TestRoundTripperFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer backend.Close()
+
+	plan := Plan{Rules: []Rule{
+		{Name: "drop", Path: "/drop", Drop: true},
+		{Name: "throttle", Path: "/throttle", Status: 429, RetryAfterMs: 1500},
+		{Name: "lag", Path: "/lag", LatencyMs: 30},
+		{Name: "dribble", Path: "/slow", SlowBodyMs: 10},
+	}}
+	in, err := New(plan, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: in.RoundTripper(nil)}
+
+	if _, err := client.Get(backend.URL + "/drop"); err == nil {
+		t.Error("drop rule: request succeeded")
+	} else if !strings.Contains(err.Error(), "connection reset by rule drop") {
+		t.Errorf("drop rule error: %v", err)
+	}
+
+	resp, err := client.Get(backend.URL + "/throttle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("throttle status %d", resp.StatusCode)
+	}
+	// 1500ms rounds up to the header's whole-second granularity.
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After %q, want 2", ra)
+	}
+
+	start := time.Now()
+	resp, err = client.Get(backend.URL + "/lag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("latency rule added only %s", d)
+	}
+
+	resp, err = client.Get(backend.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "payload" {
+		t.Errorf("slow body corrupted payload: %q", body)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("slow body added only %s", d)
+	}
+
+	resp, err = client.Get(backend.URL + "/clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "payload" {
+		t.Errorf("clean request disturbed: %d %q", resp.StatusCode, body)
+	}
+
+	stats := in.Stats()
+	for _, rs := range stats {
+		if rs.Fired != 1 {
+			t.Errorf("rule %s fired %d times, want 1", rs.Name, rs.Fired)
+		}
+	}
+}
+
+// TestHTTPProxyFaults: the reverse proxy forwards cleanly, synthesizes
+// statuses, and severs connections on drop rules.
+func TestHTTPProxyFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok:%s", r.URL.Path)
+	}))
+	defer backend.Close()
+	target, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := Plan{Rules: []Rule{
+		{Name: "outage", Path: "/v1/sweeps", Method: "POST", Count: 2, Status: 503},
+		{Name: "sever", Path: "/sever", Drop: true},
+	}}
+	in, err := New(plan, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httptest.NewServer(in.Proxy(target))
+	defer proxy.Close()
+
+	// Burst: first two submits 503, third forwarded.
+	for i, want := range []int{503, 503, 200} {
+		resp, err := http.Post(proxy.URL+"/v1/sweeps", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("submit %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+	}
+
+	// Drop: the connection dies without an HTTP answer.
+	if resp, err := http.Get(proxy.URL + "/sever"); err == nil {
+		resp.Body.Close()
+		t.Errorf("severed request answered: %d", resp.StatusCode)
+	}
+
+	// Clean paths proxy transparently.
+	resp, err := http.Get(proxy.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok:/healthz" {
+		t.Errorf("proxied body %q", body)
+	}
+}
+
+// TestTCPProxyResets: conn-scoped rules refuse connections and reset
+// streams mid-flight at exact byte offsets.
+func TestTCPProxyResets(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 64<<10)) // big enough to straddle a reset
+	}))
+	defer backend.Close()
+	backendAddr := strings.TrimPrefix(backend.URL, "http://")
+
+	plan := Plan{Rules: []Rule{
+		{Name: "refuse", Scope: "conn", Count: 1, Drop: true},
+		{Name: "cut", Scope: "conn", Count: 1, ResetAfterBytes: 100},
+	}}
+	in, err := New(plan, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := in.ProxyTCP("127.0.0.1:0", backendAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	base := "http://" + proxy.Addr()
+
+	// Connection 1: refused at accept — the client sees a reset/EOF.
+	noKeepAlive := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	if resp, err := noKeepAlive.Get(base + "/"); err == nil {
+		resp.Body.Close()
+		t.Error("refused connection served a response")
+	}
+
+	// Connection 2: cut after 100 bytes — the body read must fail.
+	resp, err := noKeepAlive.Get(base + "/")
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Error("reset stream delivered a complete body")
+		}
+	}
+
+	// Connection 3: clean pass-through, full body.
+	resp, err = noKeepAlive.Get(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || len(body) != 64<<10 {
+		t.Errorf("clean connection: err %v, %d bytes", rerr, len(body))
+	}
+}
+
+// TestLoadPlan: JSON round-trip and validation.
+func TestLoadPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	plan := Plan{Rules: []Rule{
+		{Name: "a", Path: "/x", Count: 2, Status: 503, RetryAfterMs: 1000},
+		{Name: "b", Scope: "conn", P: 0.25, Drop: true},
+	}}
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != 2 || got.Rules[0].Name != "a" || got.Rules[1].P != 0.25 {
+		t.Errorf("plan round-trip: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"rules":[{"name":"x","p":2}]}`), 0o644)
+	if _, err := LoadPlan(bad); err == nil {
+		t.Error("out-of-range p accepted")
+	}
+	os.WriteFile(bad, []byte(`{"rules":[{"scope":"udp"}]}`), 0o644)
+	if _, err := LoadPlan(bad); err == nil {
+		t.Error("unknown scope accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Proxy returns an HTTP reverse proxy to target that runs every request
+// through the injector's plan: the cross-process delivery mechanism,
+// for standing between real daemons (cmd/allarm-faultnet serves it).
+// Drop rules sever the client's TCP connection without an HTTP answer;
+// Status rules synthesize the response locally; latency and slow-body
+// rules shape forwarded traffic. SSE streams flush through unbuffered.
+func (in *Injector) Proxy(target *url.URL) http.Handler {
+	rp := httputil.NewSingleHostReverseProxy(target)
+	rp.FlushInterval = -1 // flush every write: /events streams depend on it
+	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		// The backend died (or a test closed it): answer 502 instead of
+		// the default log spam + 502 pair.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, "{\"error\":\"faultnet proxy: %s\"}\n", err)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide("http", r.Method, r.Host, r.URL.Path)
+		if d.latency > 0 {
+			if err := sleepCtx(r.Context(), d.latency); err != nil {
+				return
+			}
+		}
+		if d.drop {
+			// Sever the connection with no HTTP answer — the closest an
+			// L7 proxy gets to a mid-request reset. Hijack when the
+			// server allows it; otherwise abort the handler, which also
+			// tears the connection down.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					abortiveClose(conn)
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if d.status != 0 {
+			w.Header().Set("Content-Type", "application/json")
+			setRetryAfter(w.Header(), d.retryAfter)
+			w.WriteHeader(d.status)
+			fmt.Fprintf(w, "{\"error\":\"faultnet: injected %d by rule %s\"}\n", d.status, d.rule)
+			return
+		}
+		if d.slowBody > 0 {
+			w = &slowResponseWriter{ResponseWriter: w, delay: d.slowBody}
+		}
+		rp.ServeHTTP(w, r)
+	})
+}
+
+// slowResponseWriter meters response writes: one injected delay per
+// Write call. Flush passes through so streamed responses still stream —
+// just slowly, which is the point.
+type slowResponseWriter struct {
+	http.ResponseWriter
+	delay time.Duration
+}
+
+func (s *slowResponseWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *slowResponseWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TCPProxy forwards raw TCP to a target while the injector's
+// conn-scoped rules refuse, delay and reset connections — faults below
+// the HTTP layer, where request-level retries can't see them coming.
+type TCPProxy struct {
+	in     *Injector
+	target string
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// ProxyTCP starts a TCP proxy on listenAddr (":0" picks a port)
+// forwarding to target. Conn-scoped rules are consulted once per
+// accepted connection: Drop closes it before any byte flows, LatencyMs
+// stalls the dial, ResetAfterBytes cuts the stream mid-flight with an
+// abortive close (RST, not FIN).
+func (in *Injector) ProxyTCP(listenAddr, target string) (*TCPProxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: %w", err)
+	}
+	p := &TCPProxy{
+		in:     in,
+		target: target,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *TCPProxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting and severs every open connection.
+func (p *TCPProxy) Close() {
+	close(p.done)
+	p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *TCPProxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+func (p *TCPProxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			return
+		}
+		go p.serve(client)
+	}
+}
+
+func (p *TCPProxy) serve(client net.Conn) {
+	defer p.track(client)()
+	d := p.in.decide("conn", "", p.target, "")
+	if d.drop {
+		abortiveClose(client)
+		return
+	}
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	backend, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		abortiveClose(client)
+		return
+	}
+	defer p.track(backend)()
+	defer client.Close()
+	defer backend.Close()
+
+	clientDone := make(chan struct{})
+	go func() {
+		io.Copy(backend, client) // client → backend: unshaped
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		close(clientDone)
+	}()
+
+	// backend → client, optionally cut after resetAfter bytes.
+	if d.resetAfter > 0 {
+		io.CopyN(client, backend, int64(d.resetAfter))
+		abortiveClose(client)
+		abortiveClose(backend)
+	} else {
+		io.Copy(client, backend)
+	}
+	<-clientDone
+}
+
+// abortiveClose closes a connection with RST semantics where the
+// platform allows (SO_LINGER 0), so the peer sees a reset rather than
+// a clean EOF — the failure mode crashed processes actually produce.
+func abortiveClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}

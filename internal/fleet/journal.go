@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"allarm/internal/server"
+)
+
+// journal is the router's crash-safe state directory (-state-dir):
+//
+//	sweeps/<id>.json            one journalSweep per accepted sweep
+//	sweeps/<id>.records.ndjson  gathered-record checkpoint (one
+//	                            checkpointLine per row already in hand)
+//	membership.json             the current shard set, when it has been
+//	                            mutated at runtime
+//	traces/<id>                 raw uploaded trace bytes
+//
+// Every file is written with server.AtomicWrite (same-directory temp +
+// rename), so a SIGKILL at any instant leaves each file either whole at
+// its previous content or whole at its new content — never torn. The
+// router journals a sweep before acknowledging it, checkpoints records
+// as shard groups complete, and rewrites the entry with its terminal
+// status when the gather finishes; recovery replays that state under
+// the original ids and re-polls the shards for whatever is missing
+// (content-addressed shard caches make the re-ask nearly free).
+//
+// A nil *journal disables persistence: every method no-ops, so the
+// router never branches on whether -state-dir is set.
+type journal struct {
+	dir  string
+	logf func(format string, args ...any)
+}
+
+// journalSweep is one persisted sweep: the original client request (the
+// deterministic seed ExpandSweep re-expands at boot), the current
+// shard assignment by global job index, and the lifecycle status.
+type journalSweep struct {
+	ID      string               `json:"id"`
+	Created time.Time            `json:"created"`
+	Status  string               `json:"status"`
+	Request *server.SweepRequest `json:"request"`
+	// Assignment maps shard name → the global job indices it owns.
+	// Rewritten on requeue, so recovery re-polls the current owners.
+	Assignment map[string][]int `json:"assignment"`
+}
+
+// openJournal creates (or reopens) the state directory.
+func openJournal(dir string, logf func(string, ...any)) (*journal, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "sweeps"), filepath.Join(dir, "traces")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("state dir: %w", err)
+		}
+	}
+	return &journal{dir: dir, logf: logf}, nil
+}
+
+func (j *journal) warn(format string, args ...any) {
+	if j.logf != nil {
+		j.logf(format, args...)
+	}
+}
+
+func (j *journal) sweepPath(id string) string {
+	return filepath.Join(j.dir, "sweeps", id+".json")
+}
+
+func (j *journal) checkpointPath(id string) string {
+	return filepath.Join(j.dir, "sweeps", id+".records.ndjson")
+}
+
+// writeSweep persists (or rewrites) one sweep's journal entry.
+func (j *journal) writeSweep(e journalSweep) {
+	if j == nil {
+		return
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := server.AtomicWrite(j.sweepPath(e.ID), append(data, '\n')); err != nil {
+		j.warn("journal: sweep %s: %v", e.ID, err)
+	}
+}
+
+// writeCheckpoint atomically rewrites a sweep's gathered-record
+// checkpoint. The whole file is rewritten each time (gathers are at
+// most thousands of rows); atomicity matters more than incrementality
+// here, because a torn NDJSON tail would silently drop rows at
+// recovery.
+func (j *journal) writeCheckpoint(id string, lines []checkpointLine) {
+	if j == nil {
+		return
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, l := range lines {
+		if err := enc.Encode(l); err != nil {
+			return
+		}
+	}
+	if err := server.AtomicWrite(j.checkpointPath(id), buf.Bytes()); err != nil {
+		j.warn("journal: checkpoint %s: %v", id, err)
+	}
+}
+
+// loadSweeps returns every journaled sweep, oldest id first.
+func (j *journal) loadSweeps() []journalSweep {
+	if j == nil {
+		return nil
+	}
+	paths, err := filepath.Glob(filepath.Join(j.dir, "sweeps", "*.json"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(paths)
+	var entries []journalSweep
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			j.warn("journal: %s: %v", p, err)
+			continue
+		}
+		var e journalSweep
+		if err := json.Unmarshal(data, &e); err != nil || e.ID == "" || e.Request == nil {
+			j.warn("journal: %s: unreadable entry, skipping", p)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// loadCheckpoint reads a sweep's record checkpoint. A missing file is
+// an empty checkpoint; a malformed line ends the read there (everything
+// before the tear is kept — AtomicWrite makes this all-or-nothing in
+// practice, but recovery must never fail on disk content).
+func (j *journal) loadCheckpoint(id string) []checkpointLine {
+	if j == nil {
+		return nil
+	}
+	f, err := os.Open(j.checkpointPath(id))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var lines []checkpointLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l checkpointLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			j.warn("journal: checkpoint %s: truncated at line %d", id, len(lines))
+			break
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// removeSweep forgets one sweep's entry and checkpoint (DELETE).
+func (j *journal) removeSweep(id string) {
+	if j == nil {
+		return
+	}
+	os.Remove(j.sweepPath(id))
+	os.Remove(j.checkpointPath(id))
+}
+
+// journalMembership is the persisted shard set. It exists only after a
+// runtime membership mutation; while absent, the boot flags rule.
+type journalMembership struct {
+	Shards  []string  `json:"shards"`
+	Updated time.Time `json:"updated"`
+}
+
+// writeMembership persists the current shard set.
+func (j *journal) writeMembership(names []string) {
+	if j == nil {
+		return
+	}
+	data, err := json.MarshalIndent(journalMembership{Shards: names, Updated: time.Now().UTC()}, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := server.AtomicWrite(filepath.Join(j.dir, "membership.json"), append(data, '\n')); err != nil {
+		j.warn("journal: membership: %v", err)
+	}
+}
+
+// loadMembership returns the journaled shard set, ok == false when none
+// was ever written (or it is unreadable).
+func (j *journal) loadMembership() ([]string, bool) {
+	if j == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(j.dir, "membership.json"))
+	if err != nil {
+		return nil, false
+	}
+	var m journalMembership
+	if err := json.Unmarshal(data, &m); err != nil || len(m.Shards) == 0 {
+		j.warn("journal: membership.json unreadable, using boot flags")
+		return nil, false
+	}
+	return m.Shards, true
+}
+
+// saveTrace persists one uploaded trace's raw bytes under its
+// content-addressed id.
+func (j *journal) saveTrace(id string, data []byte) {
+	if j == nil {
+		return
+	}
+	if err := server.AtomicWrite(filepath.Join(j.dir, "traces", id), data); err != nil {
+		j.warn("journal: trace %s: %v", id, err)
+	}
+}
+
+// removeTrace drops an evicted trace's file.
+func (j *journal) removeTrace(id string) {
+	if j == nil {
+		return
+	}
+	os.Remove(filepath.Join(j.dir, "traces", id))
+}
+
+// loadTraces returns persisted trace ids in upload order (file mtime,
+// ties broken by name) with their raw bytes.
+func (j *journal) loadTraces() (ids []string, data map[string][]byte) {
+	if j == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(j.dir, "traces"))
+	if err != nil {
+		return nil, nil
+	}
+	type tr struct {
+		id    string
+		mtime time.Time
+	}
+	var trs []tr
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "tr-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		trs = append(trs, tr{id: e.Name(), mtime: info.ModTime()})
+	}
+	sort.Slice(trs, func(a, b int) bool {
+		if !trs[a].mtime.Equal(trs[b].mtime) {
+			return trs[a].mtime.Before(trs[b].mtime)
+		}
+		return trs[a].id < trs[b].id
+	})
+	data = make(map[string][]byte, len(trs))
+	for _, t := range trs {
+		b, err := os.ReadFile(filepath.Join(j.dir, "traces", t.id))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, t.id)
+		data[t.id] = b
+	}
+	return ids, data
+}

@@ -8,14 +8,17 @@ import (
 
 // routerMetrics are the router's internal counters.
 type routerMetrics struct {
-	sweepsSubmitted atomic.Uint64
-	sweepsCompleted atomic.Uint64
-	sweepsDegraded  atomic.Uint64
-	jobsScattered   atomic.Uint64
-	shardFailures   atomic.Uint64
-	tracesUploaded  atomic.Uint64
-	gathers         atomic.Uint64
-	gatherNs        atomic.Uint64
+	sweepsSubmitted   atomic.Uint64
+	sweepsCompleted   atomic.Uint64
+	sweepsDegraded    atomic.Uint64
+	sweepsRecovered   atomic.Uint64
+	jobsScattered     atomic.Uint64
+	jobsRequeued      atomic.Uint64
+	shardFailures     atomic.Uint64
+	membershipChanges atomic.Uint64
+	tracesUploaded    atomic.Uint64
+	gathers           atomic.Uint64
+	gatherNs          atomic.Uint64
 }
 
 // ShardMetrics is one shard's row in the router's GET /metrics answer.
@@ -46,12 +49,19 @@ type Metrics struct {
 	SweepsCompleted uint64  `json:"sweeps_completed"`
 	// SweepsDegraded finished with at least one shard's jobs skipped.
 	SweepsDegraded uint64 `json:"sweeps_degraded"`
-	JobsScattered  uint64 `json:"jobs_scattered"`
+	// SweepsRecovered were restored from the journal at boot.
+	SweepsRecovered uint64 `json:"sweeps_recovered"`
+	JobsScattered   uint64 `json:"jobs_scattered"`
+	// JobsRequeued counts skipped jobs re-dispatched onto a new ring
+	// owner after a membership change or health transition.
+	JobsRequeued uint64 `json:"jobs_requeued"`
 	// ShardFailures counts shard sub-sweeps lost past the retry budget.
-	ShardFailures  uint64 `json:"shard_failures"`
-	TracesUploaded uint64 `json:"traces_uploaded"`
-	// Gathers counts finished scatter/gathers; GatherSecondsTotal sums
-	// their wall time (submit to merged results).
+	ShardFailures uint64 `json:"shard_failures"`
+	// MembershipChanges counts runtime shard-set mutations.
+	MembershipChanges uint64 `json:"membership_changes"`
+	TracesUploaded    uint64 `json:"traces_uploaded"`
+	// Gathers counts completed dispatch waves (initial scatters, recovery
+	// resumes and requeues); GatherSecondsTotal sums their wall time.
 	Gathers            uint64         `json:"gathers"`
 	GatherSecondsTotal float64        `json:"gather_seconds_total"`
 	Shards             []ShardMetrics `json:"shards"`
@@ -59,20 +69,24 @@ type Metrics struct {
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
+	mem := rt.mem.Load()
 	m := Metrics{
 		UptimeSeconds:      time.Since(rt.start).Seconds(),
-		ShardsTotal:        len(rt.shards),
+		ShardsTotal:        len(mem.shards),
 		SweepsSubmitted:    rt.met.sweepsSubmitted.Load(),
 		SweepsCompleted:    rt.met.sweepsCompleted.Load(),
 		SweepsDegraded:     rt.met.sweepsDegraded.Load(),
+		SweepsRecovered:    rt.met.sweepsRecovered.Load(),
 		JobsScattered:      rt.met.jobsScattered.Load(),
+		JobsRequeued:       rt.met.jobsRequeued.Load(),
 		ShardFailures:      rt.met.shardFailures.Load(),
+		MembershipChanges:  rt.met.membershipChanges.Load(),
 		TracesUploaded:     rt.met.tracesUploaded.Load(),
 		Gathers:            rt.met.gathers.Load(),
 		GatherSecondsTotal: float64(rt.met.gatherNs.Load()) / 1e9,
-		Shards:             make([]ShardMetrics, len(rt.shards)),
+		Shards:             make([]ShardMetrics, len(mem.shards)),
 	}
-	for i, sh := range rt.shards {
+	for i, sh := range mem.shards {
 		spans, dur := sh.unhealthyTotal(now)
 		healthy := sh.isHealthy()
 		if healthy {

@@ -1,7 +1,7 @@
 // Package fleet is the sharded serving layer behind cmd/allarm-router:
-// a thin, stateless-by-design router that consistent-hashes each job of
-// a sweep onto a fleet of allarm-serve backends, scatters per-shard
-// sub-sweeps, and gathers the results back into global spec order.
+// a thin router that consistent-hashes each job of a sweep onto a fleet
+// of allarm-serve backends, scatters per-shard sub-sweeps, and gathers
+// the results back into global spec order.
 //
 // # Placement
 //
@@ -22,13 +22,31 @@
 // daemon uses (allarm.RecordEmitter), which makes gathered output
 // byte-identical to a single-node run of the same request.
 //
-// # Degradation
+// # Degradation and requeue
 //
 // A shard that dies mid-sweep does not fail the gather: after the
 // retry budget its jobs are reported as skipped rows (the error column
 // names the shard) and the sweep finishes with status "degraded". The
 // health loop excludes the shard from new placements after FailAfter
 // consecutive probe failures and re-admits it on the first success.
+// Skipped is not final, though: when the ring's answer for a skipped
+// job changes — the owner was excluded by the health loop, or a
+// membership change (SetShards / the /v1/shards API) re-homed its key —
+// the job is claimed back, re-dispatched to the new owner, and the
+// sweep re-opens until every row is a real result (or the requeue
+// budget runs out).
+//
+// # Survivability
+//
+// With Options.StateDir set, the router journals every accepted sweep
+// (request + assignment), checkpoints gathered records as shard groups
+// complete, and persists uploaded traces and membership changes — all
+// via the same atomic temp+rename discipline as the shards' own stores.
+// A router killed mid-sweep (SIGKILL included) recovers its in-flight
+// sweeps under their original ids at boot, re-polls the owning shards
+// (whose content-addressed caches make the re-ask nearly free), and
+// resumes gathering; the recovered output is byte-identical to what the
+// uninterrupted gather would have produced.
 package fleet
 
 import (
@@ -39,6 +57,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -63,8 +82,8 @@ const (
 	defaultAttempts = 3
 	// defaultRetryBackoff seeds the exponential retry backoff.
 	defaultRetryBackoff = 100 * time.Millisecond
-	// defaultRequestTimeout bounds non-streaming shard calls.
-	defaultRequestTimeout = 30 * time.Second
+	// defaultShardTimeout bounds non-streaming shard calls.
+	defaultShardTimeout = 30 * time.Second
 	// probeTimeout bounds one health probe.
 	probeTimeout = 2 * time.Second
 	// maxSubmitBytes / maxTraceBytes mirror the shard-side request
@@ -79,10 +98,13 @@ const (
 
 // Options configures a Router.
 type Options struct {
-	// Shards are the allarm-serve base URLs (e.g. http://10.0.0.7:8347).
-	// At least one is required. The set is fixed for the router's
-	// lifetime; placement depends only on it, so every router with the
-	// same set computes the same placement.
+	// Shards are the allarm-serve base URLs (e.g. http://10.0.0.7:8347)
+	// the router boots with. At least one is required unless a journaled
+	// membership (StateDir) supplies the set. The set can change at
+	// runtime via SetShards/AddShard/RemoveShard (the /v1/shards API and
+	// SIGHUP reload in cmd/allarm-router); placement depends only on the
+	// current set, so every router with the same set computes the same
+	// placement.
 	Shards []string
 	// ShardToken, when non-empty, is the bearer token presented to the
 	// shards (their Guard credential). Independent of the router's own
@@ -92,41 +114,66 @@ type Options struct {
 	Replicas int
 	// Guard, when non-nil, authenticates and rate-limits the router's
 	// own clients and enforces their job quotas at submit time.
+	// Membership mutations additionally require the admin scope.
 	Guard *server.Guard
 	// HealthInterval paces shard health probes (<= 0: 2s).
 	HealthInterval time.Duration
 	// FailAfter is the consecutive probe failures before a shard is
 	// excluded from new placements (<= 0: 2). One success re-admits it.
 	FailAfter int
-	// Attempts bounds tries per shard call (<= 0: 3). 4xx answers are
-	// never retried.
+	// Attempts bounds tries per shard call (<= 0: 3). 4xx answers other
+	// than 429 are never retried.
 	Attempts int
 	// RetryBackoff seeds the exponential backoff between retries
-	// (<= 0: 100ms).
+	// (<= 0: 100ms). Actual waits are full-jittered; a 429's Retry-After
+	// overrides the schedule.
 	RetryBackoff time.Duration
-	// RequestTimeout bounds non-streaming shard calls (<= 0: 30s).
+	// ShardTimeout bounds every non-streaming shard call — submit, poll,
+	// record fetch, trace upload (<= 0: RequestTimeout, then 30s). A hung
+	// shard therefore costs at most Attempts × ShardTimeout per step.
+	ShardTimeout time.Duration
+	// RequestTimeout is the deprecated name for ShardTimeout, honored
+	// when ShardTimeout is unset.
 	RequestTimeout time.Duration
+	// StateDir, when non-empty, enables the sweep journal: accepted
+	// sweeps, gathered-record checkpoints, uploaded traces and membership
+	// changes are persisted there and recovered at boot.
+	StateDir string
+	// Transport, when non-nil, is the RoundTripper for all shard traffic
+	// (tests inject a faultnet.RoundTripper here).
+	Transport http.RoundTripper
+	// JitterSeed seeds the retry-jitter RNG (0: time-seeded). Fixed
+	// seeds make chaos runs replayable.
+	JitterSeed int64
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
 
 // Router scatters sweeps over a shard fleet and gathers their results.
-// Create with New, serve Handler, stop with Close. It holds no result
-// state of its own — all caching lives in the shards — so a restarted
-// router recomputes the same placement and the fleet's caches make the
-// recovery cheap.
+// Create with New, serve Handler, stop with Close. All result state
+// lives in the shards; the router's own durable state (when StateDir is
+// set) is only the journal that lets a restart resume its gathers.
 type Router struct {
-	opts     Options
-	shards   []*shard
-	ring     *ring
-	mux      *http.ServeMux
-	handler  http.Handler
-	ctx      context.Context
-	cancel   context.CancelFunc
-	start    time.Time
-	attempts int
-	backoff  time.Duration
-	timeout  time.Duration
+	opts      Options
+	transport http.RoundTripper
+	mux       *http.ServeMux
+	handler   http.Handler
+	ctx       context.Context
+	cancel    context.CancelFunc
+	start     time.Time
+	attempts  int
+	backoff   time.Duration
+	timeout   time.Duration
+	journal   *journal // nil when StateDir is unset
+
+	// mem is the current membership snapshot; memMu serializes mutations
+	// (readers just Load).
+	mem   atomic.Pointer[membership]
+	memMu sync.Mutex
+
+	// rng feeds retry jitter (behind rngMu: retries are concurrent).
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	met routerMetrics
 
@@ -147,39 +194,21 @@ type traceEntry struct {
 	wl   allarm.Workload
 }
 
-// New returns a ready Router with its health loop running.
+// New returns a ready Router with its health loop running and — when
+// StateDir holds journaled sweeps — its recovered gathers resuming.
 func New(opts Options) (*Router, error) {
-	if len(opts.Shards) == 0 {
-		return nil, fmt.Errorf("fleet: at least one shard is required")
-	}
-	seen := make(map[string]bool, len(opts.Shards))
-	shards := make([]*shard, 0, len(opts.Shards))
-	names := make([]string, 0, len(opts.Shards))
-	for _, raw := range opts.Shards {
-		sh := newShard(raw, opts.ShardToken)
-		if sh.name == "" {
-			return nil, fmt.Errorf("fleet: empty shard URL")
-		}
-		if seen[sh.name] {
-			return nil, fmt.Errorf("fleet: duplicate shard %s", sh.name)
-		}
-		seen[sh.name] = true
-		shards = append(shards, sh)
-		names = append(names, sh.name)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	rt := &Router{
-		opts:     opts,
-		shards:   shards,
-		ring:     newRing(names, opts.Replicas),
-		ctx:      ctx,
-		cancel:   cancel,
-		start:    time.Now(),
-		attempts: opts.Attempts,
-		backoff:  opts.RetryBackoff,
-		timeout:  opts.RequestTimeout,
-		sweeps:   make(map[string]*fleetSweep),
-		traces:   make(map[string]traceEntry),
+		opts:      opts,
+		transport: opts.Transport,
+		ctx:       ctx,
+		cancel:    cancel,
+		start:     time.Now(),
+		attempts:  opts.Attempts,
+		backoff:   opts.RetryBackoff,
+		timeout:   opts.ShardTimeout,
+		sweeps:    make(map[string]*fleetSweep),
+		traces:    make(map[string]traceEntry),
 	}
 	if rt.attempts <= 0 {
 		rt.attempts = defaultAttempts
@@ -188,8 +217,42 @@ func New(opts Options) (*Router, error) {
 		rt.backoff = defaultRetryBackoff
 	}
 	if rt.timeout <= 0 {
-		rt.timeout = defaultRequestTimeout
+		rt.timeout = opts.RequestTimeout
 	}
+	if rt.timeout <= 0 {
+		rt.timeout = defaultShardTimeout
+	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rt.rng = rand.New(rand.NewSource(seed))
+
+	if opts.StateDir != "" {
+		j, err := openJournal(opts.StateDir, rt.logf)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		rt.journal = j
+	}
+
+	// The journaled membership — the set as of the last runtime mutation
+	// — outranks the boot flags: a restart must see the ring its sweeps
+	// were placed on, not a stale command line.
+	shardURLs := opts.Shards
+	if journaled, ok := rt.journal.loadMembership(); ok {
+		shardURLs = journaled
+		rt.logf("membership: restored %d shard(s) from journal (overrides -shards)", len(journaled))
+	}
+	mem, err := rt.buildMembership(shardURLs, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	rt.mem.Store(mem)
+
+	rt.loadTraces()
 
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("POST /v1/sweeps", rt.handleSubmit)
@@ -199,6 +262,9 @@ func New(opts Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}/results", rt.handleResults)
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}/events", rt.handleEvents)
 	rt.mux.HandleFunc("POST /v1/traces", rt.handleTraceUpload)
+	rt.mux.HandleFunc("GET /v1/shards", rt.handleShardsList)
+	rt.mux.HandleFunc("POST /v1/shards", rt.handleShardAdd)
+	rt.mux.HandleFunc("DELETE /v1/shards", rt.handleShardRemove)
 	rt.mux.HandleFunc("GET /v1/policies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, allarm.DescribePolicies())
 	})
@@ -212,6 +278,8 @@ func New(opts Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.handler = opts.Guard.Wrap(rt.mux)
 
+	rt.recoverSweeps()
+
 	rt.active.Add(1)
 	go rt.healthLoop()
 	return rt, nil
@@ -223,7 +291,10 @@ func (rt *Router) Handler() http.Handler { return rt.handler }
 
 // Close stops the health loop and cancels in-flight gathers, waiting
 // for them to unwind. Shard-side sweeps keep running — the shards own
-// the work; a restarted router re-submits and the shard caches answer.
+// the work — and the journal is deliberately left exactly as a crash
+// would leave it: an interrupted gather stays "running" on disk so the
+// next boot resumes it (Close and SIGKILL are the same event to the
+// journal, which is what makes recovery trustworthy).
 func (rt *Router) Close() {
 	rt.cancel()
 	rt.active.Wait()
@@ -235,8 +306,151 @@ func (rt *Router) logf(format string, args ...any) {
 	}
 }
 
-// alive is the ring's placement predicate.
-func (rt *Router) alive(i int) bool { return rt.shards[i].isHealthy() }
+// journalSweep rewrites a sweep's journal entry from its current state.
+func (rt *Router) journalSweep(st *fleetSweep) {
+	if rt.journal == nil {
+		return
+	}
+	v := st.view()
+	rt.journal.writeSweep(journalSweep{
+		ID:         st.id,
+		Created:    st.created,
+		Status:     v.Status,
+		Request:    st.req,
+		Assignment: st.assignment(),
+	})
+}
+
+// checkpointSweep rewrites a sweep's gathered-record checkpoint.
+func (rt *Router) checkpointSweep(st *fleetSweep) {
+	if rt.journal == nil {
+		return
+	}
+	rt.journal.writeCheckpoint(st.id, st.checkpointLines())
+}
+
+// loadTraces restores journaled trace uploads (boot).
+func (rt *Router) loadTraces() {
+	ids, data := rt.journal.loadTraces()
+	for _, id := range ids {
+		wl, err := allarm.ReadTraceNamed(bytes.NewReader(data[id]), id)
+		if err != nil {
+			rt.logf("recovery: trace %s: %v", id, err)
+			rt.journal.removeTrace(id)
+			continue
+		}
+		rt.traces[id] = traceEntry{data: data[id], wl: wl}
+		rt.trIDs = append(rt.trIDs, id)
+	}
+	rt.evictTraces()
+}
+
+// evictTraces enforces maxTraces, oldest first. Callers hold rt.mu (or
+// run before the router serves).
+func (rt *Router) evictTraces() {
+	for len(rt.trIDs) > maxTraces {
+		delete(rt.traces, rt.trIDs[0])
+		rt.journal.removeTrace(rt.trIDs[0])
+		rt.trIDs = rt.trIDs[1:]
+	}
+}
+
+// recoverSweeps replays the journal at boot: every persisted sweep
+// comes back under its original id; incomplete ones resume gathering.
+func (rt *Router) recoverSweeps() {
+	entries := rt.journal.loadSweeps()
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.ID, "fs-%d", &n); err == nil && n > rt.nextID {
+			rt.nextID = n
+		}
+	}
+	for _, e := range entries {
+		if err := rt.recoverSweep(e); err != nil {
+			rt.logf("recovery: sweep %s: %v", e.ID, err)
+		}
+	}
+}
+
+// recoverSweep rebuilds one journaled sweep: re-expand the request
+// (ExpandSweep is deterministic, so global indices and keys line up
+// exactly), restore checkpointed records, and re-dispatch whatever is
+// still owed to its journaled owner — or, when that shard left the
+// fleet, to the key's current ring owner.
+func (rt *Router) recoverSweep(e journalSweep) error {
+	sweep, err := server.ExpandSweep(e.Request, rt.lookupTrace)
+	if err != nil {
+		return fmt.Errorf("re-expanding: %w", err)
+	}
+	shardOf := make([]string, sweep.Len())
+	for name, idxs := range e.Assignment {
+		for _, i := range idxs {
+			if i < 0 || i >= sweep.Len() {
+				return fmt.Errorf("assignment index %d out of range (%d jobs)", i, sweep.Len())
+			}
+			shardOf[i] = name
+		}
+	}
+	views := make([]JobView, sweep.Len())
+	for i, job := range sweep.Jobs {
+		views[i] = JobView{
+			Benchmark: job.WorkloadName(),
+			Policy:    job.Config.Policy.String(),
+			PFKiB:     job.Config.PFBytes >> 10,
+			Shard:     shardOf[i],
+			Status:    server.JobPending,
+		}
+	}
+	st := newFleetSweep(e.ID, views, e.Created)
+	st.req = e.Request
+	st.expanded = sweep.Jobs
+	st.specs = buildSpecs(sweep, e.Request)
+	st.recovered = true
+	missing := st.restore(rt.journal.loadCheckpoint(e.ID))
+
+	// Group the owed jobs by owner before the sweep is visible anywhere.
+	mem := rt.mem.Load()
+	groups := make(map[*shard][]int)
+	for _, i := range missing {
+		sh := mem.byName(shardOf[i])
+		if sh == nil {
+			if si := mem.ring.lookup(sweep.Jobs[i].Key(), mem.alive); si >= 0 {
+				sh = mem.shards[si]
+			}
+		}
+		if sh == nil {
+			serr := fmt.Errorf("shard %s: no longer a fleet member and no replacement owner", shardOf[i])
+			st.setRecord(i, allarm.RecordOf(allarm.SweepResult{Job: sweep.Jobs[i], Err: serr}))
+			st.jobUpdate(i, server.JobSkipped, serr.Error())
+			continue
+		}
+		st.jobs[i].Shard = sh.name
+		groups[sh] = append(groups[sh], i)
+	}
+
+	rt.mu.Lock()
+	rt.sweeps[e.ID] = st
+	rt.order = append(rt.order, e.ID)
+	rt.mu.Unlock()
+	rt.met.sweepsRecovered.Add(1)
+	rt.journalSweep(st)
+
+	if len(missing) == 0 {
+		rt.logf("recovery: sweep %s: complete in journal (%d jobs)", e.ID, st.total)
+		return nil
+	}
+	rt.logf("recovery: sweep %s: resuming %d of %d job(s)", e.ID, len(missing), st.total)
+	if len(groups) > 0 {
+		rt.active.Add(1)
+		go rt.dispatch(st, groups)
+	} else if _, ok := st.takeFinishNotice(); ok {
+		// Everything owed was just skip-marked (owners gone): terminal.
+		rt.checkpointSweep(st)
+		rt.journalSweep(st)
+		rt.met.sweepsDegraded.Add(1)
+	}
+	return nil
+}
 
 // healthLoop probes every shard each interval, excluding and
 // re-admitting them as their /healthz answers flip.
@@ -262,23 +476,33 @@ func (rt *Router) healthLoop() {
 	}
 }
 
-// probeAll runs one health round across the fleet, concurrently.
+// probeAll runs one health round across the fleet, concurrently. A
+// round that flipped any shard's state re-evaluates skipped jobs: an
+// exclusion gives their keys a new ring owner, a readmission may give
+// back the original.
 func (rt *Router) probeAll(failAfter int) {
+	mem := rt.mem.Load()
 	var wg sync.WaitGroup
-	for _, sh := range rt.shards {
+	var flipped atomic.Bool
+	for _, sh := range mem.shards {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
 			ok := rt.probe(sh)
 			switch sh.probeResult(ok, failAfter, time.Now()) {
 			case "excluded":
+				flipped.Store(true)
 				rt.logf("shard %s: unhealthy, excluded from placement", sh.name)
 			case "readmitted":
+				flipped.Store(true)
 				rt.logf("shard %s: healthy again, re-admitted", sh.name)
 			}
 		}(sh)
 	}
 	wg.Wait()
+	if flipped.Load() {
+		rt.requeueSkipped("health transition")
+	}
 }
 
 // probe checks one shard's /healthz (any 200 counts — a draining shard
@@ -326,9 +550,38 @@ func specOf(job allarm.Job) string {
 	return "bench:" + job.Benchmark
 }
 
+// buildSpecs encodes every expanded job as the JobSpec a shard will
+// re-expand to the identical Job.Key: each job's own policy and — only
+// when it differs from the request config — probe-filter size.
+func buildSpecs(sweep *allarm.Sweep, req *server.SweepRequest) []server.JobSpec {
+	baseCfg := server.RequestConfig(req.Config)
+	specs := make([]server.JobSpec, sweep.Len())
+	for i, job := range sweep.Jobs {
+		js := server.JobSpec{
+			Workload: specOf(job),
+			Policy:   job.Config.Policy.String(),
+		}
+		if job.Config.PFBytes != baseCfg.PFBytes {
+			js.PFKiB = job.Config.PFBytes >> 10
+		}
+		specs[i] = js
+	}
+	return specs
+}
+
+// subRequestFor builds the sub-sweep for one shard's share of st.
+func subRequestFor(st *fleetSweep, globals []int) *server.SweepRequest {
+	specs := make([]server.JobSpec, len(globals))
+	for li, g := range globals {
+		specs[li] = st.specs[g]
+	}
+	return &server.SweepRequest{Jobs: specs, Config: st.req.Config}
+}
+
 // handleSubmit is the scatter: expand the request exactly as a shard
-// would, place every job by its key, and send each shard its jobs as an
-// explicit JobSpec list in global spec order.
+// would, place every job by its key, journal the accepted sweep, and
+// send each shard its jobs as an explicit JobSpec list in global spec
+// order.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req server.SweepRequest
 	body := http.MaxBytesReader(w, r.Body, maxSubmitBytes)
@@ -350,49 +603,29 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Place every job. Placement is by Job.Key, so two identical jobs —
-	// within this sweep or across sweeps — always meet the same cache.
-	baseCfg := server.RequestConfig(req.Config)
-	assign := make(map[int][]int) // shard index -> global job indices
+	// Place every job against one membership snapshot. Placement is by
+	// Job.Key, so two identical jobs — within this sweep or across
+	// sweeps — always meet the same cache.
+	mem := rt.mem.Load()
+	assign := make(map[*shard][]int)
 	for g, job := range sweep.Jobs {
-		si := rt.ring.lookup(job.Key(), rt.alive)
+		si := mem.ring.lookup(job.Key(), mem.alive)
 		if si < 0 {
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no healthy shards"))
 			return
 		}
-		assign[si] = append(assign[si], g)
-	}
-
-	// Build the per-shard sub-sweeps: explicit JobSpec lists carrying
-	// each job's own policy and probe-filter size, zero-valued where the
-	// request config already supplies them — so the shard expands every
-	// spec to a Job whose Key equals the one placement hashed.
-	sub := make(map[int]*server.SweepRequest, len(assign))
-	for si, globals := range assign {
-		specs := make([]server.JobSpec, len(globals))
-		for li, g := range globals {
-			job := sweep.Jobs[g]
-			js := server.JobSpec{
-				Workload: specOf(job),
-				Policy:   job.Config.Policy.String(),
-			}
-			if job.Config.PFBytes != baseCfg.PFBytes {
-				js.PFKiB = job.Config.PFBytes >> 10
-			}
-			specs[li] = js
-		}
-		sub[si] = &server.SweepRequest{Jobs: specs, Config: req.Config}
+		assign[mem.shards[si]] = append(assign[mem.shards[si]], g)
 	}
 
 	views := make([]JobView, sweep.Len())
-	for si, globals := range assign {
+	for sh, globals := range assign {
 		for _, g := range globals {
 			job := sweep.Jobs[g]
 			views[g] = JobView{
 				Benchmark: job.WorkloadName(),
 				Policy:    job.Config.Policy.String(),
 				PFKiB:     job.Config.PFBytes >> 10,
-				Shard:     rt.shards[si].name,
+				Shard:     sh.name,
 				Status:    server.JobPending,
 			}
 		}
@@ -402,15 +635,22 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rt.nextID++
 	id := fmt.Sprintf("fs-%06d", rt.nextID)
 	st := newFleetSweep(id, views, time.Now())
+	st.req = &req
+	st.expanded = sweep.Jobs
+	st.specs = buildSpecs(sweep, &req)
 	rt.sweeps[id] = st
 	rt.order = append(rt.order, id)
 	rt.mu.Unlock()
+
+	// Journal before acknowledging: once the client holds a 202, a crash
+	// must not lose the sweep.
+	rt.journalSweep(st)
 
 	rt.met.sweepsSubmitted.Add(1)
 	rt.met.jobsScattered.Add(uint64(sweep.Len()))
 	rt.logf("sweep %s: %d jobs scattered over %d shards", id, sweep.Len(), len(assign))
 	rt.active.Add(1)
-	go rt.runFleetSweep(st, sweep, sub, assign)
+	go rt.dispatch(st, assign)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -422,56 +662,74 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// runFleetSweep drives one gather: each assigned shard's sub-sweep runs
-// in its own goroutine; a shard that fails past the retry budget has
-// its jobs synthesised as skipped rows instead of failing the sweep.
-func (rt *Router) runFleetSweep(st *fleetSweep, sweep *allarm.Sweep, sub map[int]*server.SweepRequest, assign map[int][]int) {
+// dispatch drives one wave of shard groups — the initial scatter, a
+// recovery resume, or a requeue — and performs the sweep's one-time
+// finish effects if this wave completed it.
+func (rt *Router) dispatch(st *fleetSweep, groups map[*shard][]int) {
 	defer rt.active.Done()
 	begin := time.Now()
 	var wg sync.WaitGroup
-	var degraded atomic.Bool
-	for si, req := range sub {
+	for sh, globals := range groups {
 		wg.Add(1)
-		go func(si int, req *server.SweepRequest, globals []int) {
+		go func(sh *shard, globals []int) {
 			defer wg.Done()
-			sh := rt.shards[si]
-			recs, err := rt.runShardSweep(st, sh, req, globals)
-			if err != nil {
-				degraded.Store(true)
-				rt.met.shardFailures.Add(1)
-				rt.logf("sweep %s: shard %s lost %d jobs: %v", st.id, sh.name, len(globals), err)
-				for _, g := range globals {
-					serr := fmt.Errorf("shard %s: %w", sh.name, err)
-					st.setRecord(g, allarm.RecordOf(allarm.SweepResult{Job: sweep.Jobs[g], Err: serr}))
-					st.jobUpdate(g, server.JobSkipped, serr.Error())
-				}
-				return
-			}
-			for li, g := range globals {
-				st.setRecord(g, recs[li])
-				// Reconcile statuses the SSE stream may not have
-				// delivered (idempotent: terminal states never regress).
-				st.jobUpdate(g, statusOfRecord(recs[li]), recs[li].Error)
-			}
-		}(si, req, assign[si])
+			rt.gatherGroup(st, sh, globals)
+		}(sh, globals)
 	}
 	wg.Wait()
-	st.finish(degraded.Load())
 	rt.met.gathers.Add(1)
 	rt.met.gatherNs.Add(uint64(time.Since(begin).Nanoseconds()))
-	if degraded.Load() {
-		rt.met.sweepsDegraded.Add(1)
-		rt.logf("sweep %s: degraded (%s)", st.id, time.Since(begin).Round(time.Millisecond))
+	if status, ok := st.takeFinishNotice(); ok {
+		rt.journalSweep(st)
+		if status == StatusDegraded {
+			rt.met.sweepsDegraded.Add(1)
+			rt.logf("sweep %s: degraded (%s)", st.id, time.Since(begin).Round(time.Millisecond))
+		} else {
+			rt.met.sweepsCompleted.Add(1)
+			rt.logf("sweep %s: done (%s)", st.id, time.Since(begin).Round(time.Millisecond))
+		}
+	}
+}
+
+// gatherGroup runs one shard's share of a sweep. Failure past the retry
+// budget degrades the group's jobs to skipped rows — then immediately
+// asks the ring whether anyone else can own them (the failing shard may
+// already be excluded), which turns a mid-sweep shard death into a
+// re-dispatch instead of a permanent hole.
+func (rt *Router) gatherGroup(st *fleetSweep, sh *shard, globals []int) {
+	recs, err := rt.runShardSweep(st, sh, subRequestFor(st, globals), globals)
+	if err != nil {
+		if rt.ctx.Err() != nil {
+			// Shutdown, not shard failure: leave the jobs un-terminal so
+			// the journal keeps owing them — recovery resumes exactly here.
+			return
+		}
+		rt.met.shardFailures.Add(1)
+		rt.logf("sweep %s: shard %s lost %d jobs: %v", st.id, sh.name, len(globals), err)
+		for _, g := range globals {
+			serr := fmt.Errorf("shard %s: %w", sh.name, err)
+			st.setRecord(g, allarm.RecordOf(allarm.SweepResult{Job: st.expanded[g], Err: serr}))
+			st.jobUpdate(g, server.JobSkipped, serr.Error())
+		}
+		rt.checkpointSweep(st)
+		rt.requeueSweep(st, "shard "+sh.name+" failed")
 		return
 	}
-	rt.met.sweepsCompleted.Add(1)
-	rt.logf("sweep %s: done (%s)", st.id, time.Since(begin).Round(time.Millisecond))
+	for li, g := range globals {
+		st.setRecord(g, recs[li])
+		// Reconcile statuses the SSE stream may not have delivered
+		// (idempotent: terminal states never regress).
+		st.jobUpdate(g, statusOfRecord(recs[li]), recs[li].Error)
+	}
+	rt.checkpointSweep(st)
 }
 
 // runShardSweep runs one shard's share: submit (re-uploading traces the
-// shard turns out not to know), watch its SSE stream for per-job
-// progress, then fetch the finished records. Every step retries with
-// backoff; an exhausted budget surfaces as the shard's failure.
+// shard turns out not to know), then watch its SSE stream for per-job
+// progress while the status poll — which owns the completion decision
+// and the retry budget — runs beside it, then fetch the finished
+// records. Every bounded call carries ShardTimeout, so a hung shard
+// costs at most the retry budget, never a stalled sweep.
 func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequest, globals []int) ([]allarm.Record, error) {
 	sh.jobsAssigned.Add(uint64(len(globals)))
 	ctx := rt.ctx
@@ -494,32 +752,40 @@ func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequ
 		}
 		return err
 	}
-	if err := sh.retry(ctx, rt.attempts, rt.backoff, submit); err != nil {
+	if err := rt.retry(ctx, sh, submit); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
 
-	// Watch the shard's SSE stream, remapping local job indices into
-	// global spec positions. The stream ends when the shard sweep is
-	// final; a broken stream (shard died mid-sweep) falls through to the
-	// status poll, which owns the retry budget.
-	streamErr := sh.streamEvents(ctx, id, func(ev sseEvent) {
-		if ev.Type != "job" {
-			return
+	// The SSE stream is advisory progress (remapped local → global
+	// indices); the poll below decides completion. Running them
+	// concurrently means a stream that hangs silently — open socket, no
+	// frames — can never stall the gather.
+	sctx, scancel := context.WithCancel(ctx)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		err := sh.streamEvents(sctx, id, func(ev sseEvent) {
+			if ev.Type != "job" {
+				return
+			}
+			var je struct {
+				Index  int    `json:"index"`
+				Status string `json:"status"`
+				Error  string `json:"error,omitempty"`
+			}
+			if json.Unmarshal(ev.Data, &je) != nil || je.Index < 0 || je.Index >= len(globals) {
+				return
+			}
+			st.jobUpdate(globals[je.Index], je.Status, je.Error)
+		})
+		if err != nil && ctx.Err() == nil && sctx.Err() == nil {
+			rt.logf("sweep %s: shard %s: event stream broke, polling: %v", st.id, sh.name, err)
 		}
-		var je struct {
-			Index  int    `json:"index"`
-			Status string `json:"status"`
-			Error  string `json:"error,omitempty"`
-		}
-		if json.Unmarshal(ev.Data, &je) != nil || je.Index < 0 || je.Index >= len(globals) {
-			return
-		}
-		st.jobUpdate(globals[je.Index], je.Status, je.Error)
-	})
-	if streamErr != nil {
-		rt.logf("sweep %s: shard %s: event stream broke, polling: %v", st.id, sh.name, streamErr)
-	}
-	if err := rt.awaitTerminal(ctx, sh, id); err != nil {
+	}()
+	err := rt.awaitTerminal(ctx, sh, id, streamDone)
+	scancel()
+	<-streamDone
+	if err != nil {
 		return nil, err
 	}
 
@@ -529,7 +795,7 @@ func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequ
 		recs, err = sh.fetchRecords(ctx, id, rt.timeout)
 		return err
 	}
-	if err := sh.retry(ctx, rt.attempts, rt.backoff, fetch); err != nil {
+	if err := rt.retry(ctx, sh, fetch); err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	if len(recs) != len(globals) {
@@ -538,14 +804,71 @@ func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequ
 	return recs, nil
 }
 
+// retry runs fn until it succeeds, returns a non-retryable error, or
+// the attempt budget is exhausted. Waits come from retryDelay: full
+// jitter over the exponential schedule, or the shard's own Retry-After
+// on a 429.
+func (rt *Router) retry(ctx context.Context, sh *shard, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < rt.attempts; attempt++ {
+		if attempt > 0 {
+			sh.retries.Add(1)
+			select {
+			case <-time.After(rt.retryDelay(err, attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return err
+}
+
+// retryDelay picks the wait before retry attempt (1-based): a throttled
+// shard's Retry-After verbatim, otherwise a full-jitter draw over the
+// doubling schedule — uniform in (0, backoff << (attempt-1)]. Full
+// jitter keeps a fleet of retriers, all knocked back by the same
+// outage, from re-arriving in one synchronized burst.
+func (rt *Router) retryDelay(lastErr error, attempt int) time.Duration {
+	var he *httpError
+	if isHTTPError(lastErr, &he) && he.status == http.StatusTooManyRequests && he.retryAfter > 0 {
+		return he.retryAfter
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	if attempt > 16 {
+		attempt = 16 // past here the ceiling is minutes; cap the shift
+	}
+	ceil := rt.backoff << (attempt - 1)
+	rt.rngMu.Lock()
+	d := time.Duration(rt.rng.Int63n(int64(ceil)))
+	rt.rngMu.Unlock()
+	return d + 1
+}
+
 // awaitTerminal polls a shard sweep's status until it is final,
 // tolerating up to the retry budget of consecutive poll failures.
-func (rt *Router) awaitTerminal(ctx context.Context, sh *shard, id string) error {
+// streamDone short-circuits one wait when the SSE stream ends (the
+// sweep is usually final at that instant).
+func (rt *Router) awaitTerminal(ctx context.Context, sh *shard, id string, streamDone <-chan struct{}) error {
 	fails := 0
 	for {
 		v, err := sh.sweepStatus(ctx, id, rt.timeout)
 		switch {
 		case err != nil:
+			if !retryable(err) {
+				return fmt.Errorf("status: %w", err)
+			}
 			fails++
 			if fails >= rt.attempts {
 				return fmt.Errorf("status: %w", err)
@@ -556,8 +879,19 @@ func (rt *Router) awaitTerminal(ctx context.Context, sh *shard, id string) error
 		default:
 			fails = 0
 		}
+		delay := rt.backoff
+		poke := streamDone
+		if err != nil {
+			// A failed poll paces by the retry schedule — and a 429's
+			// Retry-After in particular must not be short-circuited by
+			// the stream ending.
+			delay = rt.retryDelay(err, fails)
+			poke = nil
+		}
 		select {
-		case <-time.After(rt.backoff):
+		case <-time.After(delay):
+		case <-poke:
+			streamDone = nil // poll immediately once; then pace normally
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -609,8 +943,9 @@ func (rt *Router) lookupTrace(id string) allarm.Workload {
 
 // handleTraceUpload parses the trace locally (the router must expand
 // "trace:ID" specs itself to compute placement keys), keeps the raw
-// bytes for shard re-upload, and broadcasts the upload to every shard
-// so sub-sweep submits do not each pay a 400-retry round trip.
+// bytes for shard re-upload — journaled, so recovery can still expand
+// and re-upload after a restart — and broadcasts the upload to every
+// shard so sub-sweep submits do not each pay a 400-retry round trip.
 func (rt *Router) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBytes))
 	if err != nil {
@@ -640,10 +975,8 @@ func (rt *Router) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		} else {
 			rt.traces[id] = traceEntry{data: data, wl: wl}
 			rt.trIDs = append(rt.trIDs, id)
-			for len(rt.trIDs) > maxTraces {
-				delete(rt.traces, rt.trIDs[0])
-				rt.trIDs = rt.trIDs[1:]
-			}
+			rt.journal.saveTrace(id, data)
+			rt.evictTraces()
 		}
 		rt.mu.Unlock()
 		rt.met.tracesUploaded.Add(1)
@@ -651,8 +984,9 @@ func (rt *Router) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 
 	// Best-effort broadcast; a shard that misses it (down right now, or
 	// evicts the trace later) is healed by the submit-time re-upload.
+	mem := rt.mem.Load()
 	var wg sync.WaitGroup
-	for _, sh := range rt.shards {
+	for _, sh := range mem.shards {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
@@ -697,8 +1031,8 @@ func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, st.view())
 }
 
-// handleDelete forgets a finished gather. Purely a router-memory
-// operation: the shards retain their own sweeps and caches.
+// handleDelete forgets a finished gather — from memory and from the
+// journal. The shards retain their own sweeps and caches.
 func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rt.mu.Lock()
@@ -721,6 +1055,7 @@ func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.mu.Unlock()
+	rt.journal.removeSweep(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -752,7 +1087,9 @@ func (rt *Router) handleResults(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the gather's progress as SSE, replaying full
 // history to late subscribers — the same contract as a shard's stream,
-// with job events carrying the owning shard and global indices.
+// with job events carrying the owning shard and global indices. The
+// finished channel is re-fetched each round: a requeue wave replaces
+// it, and a subscriber must keep streaming through the re-open.
 func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 	st := rt.lookup(r.PathValue("id"))
 	if st == nil {
@@ -791,7 +1128,7 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-poke:
 		case <-r.Context().Done():
 			return
-		case <-st.finished:
+		case <-st.finishedCh():
 		}
 	}
 }
@@ -800,9 +1137,10 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 // router itself is "ok" while any shard is placeable; "degraded" means
 // new sweeps would be refused.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mem := rt.mem.Load()
 	healthy := 0
-	shards := make(map[string]string, len(rt.shards))
-	for _, sh := range rt.shards {
+	shards := make(map[string]string, len(mem.shards))
+	for _, sh := range mem.shards {
 		if sh.isHealthy() {
 			healthy++
 			shards[sh.name] = "healthy"

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,9 +19,11 @@ import (
 )
 
 // shard is one allarm-serve backend: its HTTP client, its health state
-// and its per-shard counters. All request plumbing — retries, backoff,
-// bearer credentials, health bookkeeping — lives here so the router's
-// scatter/gather logic reads as protocol, not transport.
+// and its per-shard counters. All request plumbing — bearer
+// credentials, health bookkeeping, response decoding — lives here so
+// the router's scatter/gather logic reads as protocol, not transport.
+// Retry policy lives on the Router (it owns the backoff schedule and
+// its jitter source).
 type shard struct {
 	name   string // base URL, e.g. http://10.0.0.7:8347
 	token  string // bearer forwarded on every shard request
@@ -44,13 +47,16 @@ type shard struct {
 	version   string // last /v1/version answer (build-skew check)
 }
 
-func newShard(name, token string) *shard {
+// newShard builds a shard handle. transport may be nil (the default
+// transport); tests and chaos harnesses inject a faultnet.RoundTripper
+// here to put simulated network failures between router and fleet.
+func newShard(name, token string, transport http.RoundTripper) *shard {
 	return &shard{
 		name:  strings.TrimRight(name, "/"),
 		token: token,
 		// No Client.Timeout: SSE streams are long-lived by design.
 		// Bounded calls pass a context deadline instead.
-		client:  &http.Client{},
+		client:  &http.Client{Transport: transport},
 		healthy: true, // optimistic until the first probe says otherwise
 	}
 }
@@ -124,14 +130,46 @@ func (sh *shard) do(ctx context.Context, method, path string, body []byte) (*htt
 }
 
 // httpError is a non-2xx shard answer, carrying the status code so
-// callers can distinguish client errors (no retry) from server ones.
+// callers can distinguish client errors (no retry) from server ones,
+// and the parsed Retry-After hint on throttled (429) answers so the
+// retry schedule can honor the shard's own pacing.
 type httpError struct {
-	status int
-	body   string
+	status     int
+	body       string
+	retryAfter time.Duration // 0 when the answer carried no usable hint
 }
 
 func (e *httpError) Error() string {
 	return fmt.Sprintf("status %d: %s", e.status, strings.TrimSpace(e.body))
+}
+
+// newHTTPError captures a non-2xx response, including its Retry-After.
+func newHTTPError(resp *http.Response, body []byte) *httpError {
+	return &httpError{
+		status:     resp.StatusCode,
+		body:       string(body),
+		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
+}
+
+// parseRetryAfter reads a Retry-After header value: delta-seconds or an
+// HTTP-date. Unparseable or past values yield 0 (no hint).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // doJSON performs a bounded request and decodes a 2xx JSON answer into
@@ -149,7 +187,7 @@ func (sh *shard) doJSON(ctx context.Context, method, path string, body []byte, t
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return &httpError{status: resp.StatusCode, body: string(data)}
+		return newHTTPError(resp, data)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -157,36 +195,6 @@ func (sh *shard) doJSON(ctx context.Context, method, path string, body []byte, t
 		}
 	}
 	return nil
-}
-
-// retry runs fn with exponential backoff until it succeeds, returns a
-// non-retryable error, or the attempt budget is exhausted. 4xx answers
-// are never retried (the request itself is wrong); transport errors and
-// 5xx are.
-func (sh *shard) retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
-	var err error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			sh.retries.Add(1)
-			select {
-			case <-time.After(backoff << (attempt - 1)):
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-		}
-		err = fn()
-		if err == nil {
-			return nil
-		}
-		var he *httpError
-		if isHTTPError(err, &he) && he.status >= 400 && he.status < 500 {
-			return err
-		}
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
-	}
-	return err
 }
 
 // isHTTPError unwraps err into an *httpError (errors.As without the
@@ -204,6 +212,21 @@ func isHTTPError(err error, target **httpError) bool {
 		err = u.Unwrap()
 	}
 	return false
+}
+
+// retryable reports whether an error is worth another attempt:
+// transport errors and 5xx are, 429 is (the shard asked us to slow
+// down, not to stop), any other 4xx is not (the request itself is
+// wrong).
+func retryable(err error) bool {
+	var he *httpError
+	if !isHTTPError(err, &he) {
+		return true
+	}
+	if he.status == http.StatusTooManyRequests {
+		return true
+	}
+	return he.status < 400 || he.status >= 500
 }
 
 // submitSweep posts a sub-sweep and returns the shard's sweep id.
@@ -246,7 +269,7 @@ func (sh *shard) uploadTrace(ctx context.Context, data []byte, timeout time.Dura
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &httpError{status: resp.StatusCode, body: string(body)}
+		return newHTTPError(resp, body)
 	}
 	return nil
 }
@@ -266,7 +289,7 @@ func (sh *shard) fetchRecords(ctx context.Context, id string, timeout time.Durat
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, &httpError{status: resp.StatusCode, body: string(body)}
+		return nil, newHTTPError(resp, body)
 	}
 	return allarm.ReadRecords(resp.Body)
 }
@@ -281,6 +304,9 @@ type sseEvent struct {
 // invoking onEvent per frame until the stream ends or ctx is
 // cancelled. The server replays full history to new subscribers, so a
 // reconnect re-delivers earlier frames; consumers must be idempotent.
+// The stream is advisory: the router runs it beside the status poll,
+// which owns the completion decision — a silently hung stream can never
+// stall a gather.
 func (sh *shard) streamEvents(ctx context.Context, id string, onEvent func(sseEvent)) error {
 	resp, err := sh.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/events", nil)
 	if err != nil {
@@ -289,7 +315,7 @@ func (sh *shard) streamEvents(ctx context.Context, id string, onEvent func(sseEv
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &httpError{status: resp.StatusCode, body: string(body)}
+		return newHTTPError(resp, body)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)

@@ -12,13 +12,22 @@ import (
 // Fleet sweep lifecycle states. Queued/running/done mirror a single
 // shard's; Degraded is fleet-specific: the gather completed but one or
 // more shards could not deliver their jobs, which are reported as
-// skipped rows rather than failing the whole sweep.
+// skipped rows rather than failing the whole sweep. A degraded sweep is
+// not necessarily the end of the story: a membership change that gives
+// its skipped jobs a new owner re-opens it (status back to running)
+// and re-dispatches only those jobs.
 const (
 	StatusQueued   = server.StatusQueued
 	StatusRunning  = server.StatusRunning
 	StatusDone     = server.StatusDone
 	StatusDegraded = "degraded"
 )
+
+// maxRequeueWaves bounds how many times one sweep's skipped jobs may be
+// re-dispatched onto new owners. Each wave only fires when a job's ring
+// owner actually changed, but a fleet where shards keep dying could
+// otherwise ping-pong jobs forever.
+const maxRequeueWaves = 8
 
 // JobView is one job in a fleet sweep's status: the shard column is the
 // only addition over a single daemon's view.
@@ -39,6 +48,12 @@ type SweepView struct {
 	Finished time.Time `json:"finished,omitzero"`
 	Total    int       `json:"total"`
 	Done     int       `json:"done"`
+	// Recovered marks a sweep restored from the journal after a router
+	// restart (its in-flight work was re-polled, not re-run).
+	Recovered bool `json:"recovered,omitempty"`
+	// Requeued counts re-dispatch waves: times this sweep's skipped jobs
+	// were moved to a new ring owner after a shard failure.
+	Requeued int       `json:"requeued,omitempty"`
 	Jobs     []JobView `json:"jobs"`
 }
 
@@ -76,10 +91,25 @@ type sweepEvent struct {
 // Shard progress arrives concurrently from per-shard goroutines; all
 // mutation goes through the mutex, and done counts terminal jobs (not
 // transitions) so replayed shard events stay idempotent.
+//
+// The sweep finishes itself: whenever every job is terminal AND every
+// record is stored, the state flips to done/degraded — there is no
+// external "finish" call, so no ordering between SSE updates and record
+// fetches can close the sweep with rows missing. A requeue wave re-opens
+// a finished sweep (degraded → running) by un-terminating the claimed
+// jobs.
 type fleetSweep struct {
 	id      string
 	created time.Time
 	total   int
+
+	// Immutable after creation (set before the sweep is published):
+	// everything needed to re-dispatch jobs later — on requeue, or after
+	// a router restart re-expands the journaled request.
+	req       *server.SweepRequest
+	expanded  []allarm.Job     // global spec order; placement keys
+	specs     []server.JobSpec // per-job sub-sweep spec (PFKiB pre-zeroed)
+	recovered bool             // restored from the journal at boot
 
 	mu         sync.Mutex
 	status     string
@@ -88,10 +118,16 @@ type fleetSweep struct {
 	done       int
 	records    []allarm.Record
 	have       []bool
+	requeues   int
 	finishedAt time.Time
 	history    []event
 	subs       map[chan struct{}]struct{}
 	finished   chan struct{}
+	// notice marks an unconsumed finish transition: the dispatch wave
+	// that observes it (takeFinishNotice) owns the one-time side effects
+	// (journal terminal write, metrics, log line). A requeue that
+	// re-opens the sweep before anyone consumed the notice retracts it.
+	notice bool
 }
 
 func newFleetSweep(id string, jobs []JobView, now time.Time) *fleetSweep {
@@ -164,6 +200,7 @@ func (st *fleetSweep) jobUpdate(i int, status, errMsg string) {
 		Shard: jv.Shard, Status: jv.Status,
 		Done: st.done, Total: st.total, Error: jv.Error,
 	})
+	st.maybeFinishLocked()
 }
 
 // setRecord stores job i's gathered (or synthesised) row.
@@ -171,6 +208,7 @@ func (st *fleetSweep) setRecord(i int, rec allarm.Record) {
 	st.mu.Lock()
 	st.records[i] = rec
 	st.have[i] = true
+	st.maybeFinishLocked()
 	st.mu.Unlock()
 }
 
@@ -188,19 +226,182 @@ func statusOfRecord(rec allarm.Record) string {
 	}
 }
 
-// finish marks the gather complete. degraded reports whether any shard
-// failed to deliver (its jobs were synthesised as skipped rows).
-func (st *fleetSweep) finish(degraded bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.finishedAt = time.Now()
-	if degraded {
-		st.status = StatusDegraded
-	} else {
-		st.status = StatusDone
+// maybeFinishLocked closes the sweep once every job is terminal and
+// every record is present — the only way a fleet sweep finishes.
+// Degraded means at least one job ended skipped (a shard failed to
+// deliver it and no new owner has picked it up). Callers hold st.mu.
+func (st *fleetSweep) maybeFinishLocked() {
+	if st.status == StatusDone || st.status == StatusDegraded {
+		return
 	}
+	if st.done != st.total {
+		return
+	}
+	for _, h := range st.have {
+		if !h {
+			return
+		}
+	}
+	st.finishedAt = time.Now()
+	st.status = StatusDone
+	for _, j := range st.jobs {
+		if j.Status == server.JobSkipped {
+			st.status = StatusDegraded
+			break
+		}
+	}
+	st.notice = true
 	st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
 	close(st.finished)
+}
+
+// takeFinishNotice consumes a finish transition exactly once, returning
+// the terminal status. The dispatch wave that gets ok == true performs
+// the one-time side effects (journal write, metrics).
+func (st *fleetSweep) takeFinishNotice() (status string, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.notice {
+		return "", false
+	}
+	st.notice = false
+	return st.status, true
+}
+
+// finishedCh returns the channel closed when the sweep (currently)
+// finishes. A requeue wave replaces it, so waiters must re-fetch after
+// each wake-up rather than cache it.
+func (st *fleetSweep) finishedCh() <-chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.finished
+}
+
+// claimSkipped atomically claims skipped jobs for re-dispatch onto new
+// owners. place maps a global index to its new shard name; returning
+// ok == false (owner unchanged, or no healthy owner) leaves the job
+// skipped. Claimed jobs are un-terminated (status back to pending, the
+// synthesised record dropped) and the sweep — if it had already finished
+// degraded — re-opens with a fresh finished channel. Returns the claimed
+// indices grouped by new shard name; empty when nothing moved or the
+// requeue budget is spent.
+func (st *fleetSweep) claimSkipped(place func(i int) (string, bool)) map[string][]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.requeues >= maxRequeueWaves {
+		return nil
+	}
+	var moved map[string][]int
+	for i := range st.jobs {
+		if !st.terminal[i] || st.jobs[i].Status != server.JobSkipped {
+			continue
+		}
+		name, ok := place(i)
+		if !ok || name == st.jobs[i].Shard {
+			continue
+		}
+		if moved == nil {
+			moved = make(map[string][]int)
+		}
+		moved[name] = append(moved[name], i)
+		st.terminal[i] = false
+		st.have[i] = false
+		st.records[i] = allarm.Record{}
+		st.done--
+		st.jobs[i].Status = server.JobPending
+		st.jobs[i].Error = ""
+		st.jobs[i].Shard = name
+	}
+	if moved == nil {
+		return nil
+	}
+	st.requeues++
+	if st.status == StatusDone || st.status == StatusDegraded {
+		st.status = StatusRunning
+		st.finishedAt = time.Time{}
+		st.finished = make(chan struct{})
+		st.notice = false
+	}
+	st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
+	for _, idxs := range moved {
+		for _, i := range idxs {
+			jv := st.jobs[i]
+			st.publish("job", jobEvent{
+				Sweep: st.id, Index: i,
+				Benchmark: jv.Benchmark, Policy: jv.Policy, PFKiB: jv.PFKiB,
+				Shard: jv.Shard, Status: jv.Status,
+				Done: st.done, Total: st.total,
+			})
+		}
+	}
+	return moved
+}
+
+// checkpointLine is one journaled record: the job's global index, its
+// final status (Record alone cannot distinguish "skipped by a dead
+// shard" — requeue-eligible — from a genuine job error) and the row
+// itself. Records survive the JSON round trip losslessly, which is what
+// keeps recovered gathers byte-identical.
+type checkpointLine struct {
+	Index  int           `json:"index"`
+	Status string        `json:"status"`
+	Record allarm.Record `json:"record"`
+}
+
+// checkpointLines snapshots every gathered record for the journal.
+func (st *fleetSweep) checkpointLines() []checkpointLine {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lines := make([]checkpointLine, 0, st.done)
+	for i, h := range st.have {
+		if !h {
+			continue
+		}
+		lines = append(lines, checkpointLine{Index: i, Status: st.jobs[i].Status, Record: st.records[i]})
+	}
+	return lines
+}
+
+// restore applies journaled checkpoint lines to a freshly rebuilt sweep
+// (boot-time recovery, before the sweep is visible to any handler) and
+// returns the indices still owed. A fully checkpointed sweep finishes
+// here; its notice is swallowed so recovery does not recount metrics.
+func (st *fleetSweep) restore(lines []checkpointLine) (missing []int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, l := range lines {
+		if l.Index < 0 || l.Index >= st.total || st.terminal[l.Index] || !jobTerminal(l.Status) {
+			continue
+		}
+		st.records[l.Index] = l.Record
+		st.have[l.Index] = true
+		st.terminal[l.Index] = true
+		st.done++
+		st.jobs[l.Index].Status = l.Status
+		st.jobs[l.Index].Error = l.Record.Error
+	}
+	if st.done > 0 {
+		st.status = StatusRunning
+	}
+	st.maybeFinishLocked()
+	st.notice = false
+	for i, term := range st.terminal {
+		if !term {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// assignment maps shard name → owned global indices, for the journal.
+func (st *fleetSweep) assignment() map[string][]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := make(map[string][]int)
+	for i, j := range st.jobs {
+		a[j.Shard] = append(a[j.Shard], i)
+	}
+	return a
 }
 
 // view snapshots the sweep for the status endpoint.
@@ -212,7 +413,10 @@ func (st *fleetSweep) view() SweepView {
 	return SweepView{
 		ID: st.id, Status: st.status, Created: st.created,
 		Finished: st.finishedAt,
-		Total:    st.total, Done: st.done, Jobs: jobs,
+		Total:    st.total, Done: st.done,
+		Recovered: st.recovered,
+		Requeued:  st.requeues,
+		Jobs:      jobs,
 	}
 }
 

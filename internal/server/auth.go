@@ -35,6 +35,10 @@ type ClientConfig struct {
 	// MaxJobs caps the expanded job count of one sweep submission
 	// (0 = unlimited).
 	MaxJobs int `json:"max_jobs,omitempty"`
+	// Admin grants the operational scope: fleet-membership mutations
+	// (allarm-router's POST/DELETE /v1/shards) require it. Ordinary
+	// sweep submission does not.
+	Admin bool `json:"admin,omitempty"`
 	// Rate is the client's sustained request rate in requests/second
 	// (token-bucket refill). 0 with Burst 0 means unlimited; 0 with a
 	// positive Burst means a fixed, non-refilling budget (tests).
@@ -48,6 +52,7 @@ type ClientConfig struct {
 type guardClient struct {
 	name    string
 	maxJobs int
+	admin   bool
 
 	unlimited bool
 	mu        sync.Mutex
@@ -82,6 +87,7 @@ func NewGuard(clients []ClientConfig) (*Guard, error) {
 		g.clients[c.Token] = &guardClient{
 			name:      c.Name,
 			maxJobs:   c.MaxJobs,
+			admin:     c.Admin,
 			unlimited: c.Rate == 0 && c.Burst == 0,
 			tokens:    burst,
 			burst:     burst,
@@ -139,6 +145,7 @@ type guardCtxKey struct{}
 type Client struct {
 	Name    string
 	MaxJobs int
+	Admin   bool
 }
 
 // ClientFromRequest returns the authenticated client of r, or ok ==
@@ -186,7 +193,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			writeError(w, http.StatusTooManyRequests, fmt.Errorf("client %s over rate limit", c.name))
 			return
 		}
-		ctx := context.WithValue(r.Context(), guardCtxKey{}, Client{Name: c.name, MaxJobs: c.maxJobs})
+		ctx := context.WithValue(r.Context(), guardCtxKey{}, Client{Name: c.name, MaxJobs: c.maxJobs, Admin: c.admin})
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
@@ -211,4 +218,16 @@ func CheckJobQuota(r *http.Request, jobs int) error {
 		return nil
 	}
 	return fmt.Errorf("sweep expands to %d jobs, over client %s's quota of %d", jobs, c.Name, c.MaxJobs)
+}
+
+// CheckAdmin enforces the admin scope on operational endpoints: nil
+// when the request's client is an admin, or when the daemon runs
+// without a Guard (an open daemon has no principals to scope). The
+// caller renders the error as 403.
+func CheckAdmin(r *http.Request) error {
+	c, ok := ClientFromRequest(r)
+	if !ok || c.Admin {
+		return nil
+	}
+	return fmt.Errorf("client %s lacks the admin scope (membership operations need \"admin\": true in the tokens file)", c.Name)
 }

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -257,5 +258,56 @@ func TestCheckJobQuota(t *testing.T) {
 	}
 	if err := CheckJobQuota(httptest.NewRequest("POST", "/v1/sweeps", nil), 1_000_000); err != nil {
 		t.Fatalf("unguarded request rejected: %v", err)
+	}
+}
+
+// TestCheckAdmin: the admin scope gates operational endpoints (fleet
+// membership mutations) — granted per client in the tokens file,
+// implicit when the daemon runs unguarded, and the "admin" flag
+// round-trips through LoadGuard.
+func TestCheckAdmin(t *testing.T) {
+	g, err := NewGuard([]ClientConfig{
+		{Token: "op", Name: "operator", Admin: true},
+		{Token: "ro", Name: "reader"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	request := func(token string) *http.Request {
+		var got *http.Request
+		h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { got = r }))
+		req := httptest.NewRequest("POST", "/v1/shards", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		return got
+	}
+
+	if err := CheckAdmin(request("op")); err != nil {
+		t.Fatalf("admin client rejected: %v", err)
+	}
+	err = CheckAdmin(request("ro"))
+	if err == nil {
+		t.Fatal("non-admin client allowed")
+	}
+	if !strings.Contains(err.Error(), "reader") {
+		t.Errorf("error does not name the client: %v", err)
+	}
+	// No guard in play: an open daemon has no principals to scope.
+	if err := CheckAdmin(httptest.NewRequest("POST", "/v1/shards", nil)); err != nil {
+		t.Fatalf("unguarded request rejected: %v", err)
+	}
+
+	// The tokens-file flag reaches the client record.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tokens.json")
+	if err := os.WriteFile(path, []byte(`[{"token":"t","name":"ops","admin":true}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := LoadGuard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := lg.clients["t"]; c == nil || !c.admin {
+		t.Fatalf("admin flag lost through LoadGuard: %+v", lg.clients["t"])
 	}
 }

@@ -185,7 +185,7 @@ func (f fsObjects) get(name string) ([]byte, bool, error) {
 func (f fsObjects) put(name string, data []byte) (bool, error) {
 	path := filepath.Join(f.dir, name)
 	_, statErr := os.Stat(path)
-	if err := atomicWrite(path, data); err != nil {
+	if err := AtomicWrite(path, data); err != nil {
 		return false, err
 	}
 	return os.IsNotExist(statErr), nil
@@ -199,10 +199,12 @@ func (f fsObjects) count() (int, error) {
 	return len(names), nil
 }
 
-// atomicWrite writes data to path via a same-directory temp file and
-// rename, so concurrent readers (and crash recovery) only ever see a
-// complete file.
-func atomicWrite(path string, data []byte) error {
+// AtomicWrite writes data to path via a same-directory temp file and
+// rename: a crash (SIGKILL included) leaves either the old content or
+// none, never a torn file. It is the write discipline every persistent
+// artifact in the system uses — the result store's entries, the
+// daemon's sweep specs, and allarm-router's sweep journal.
+func AtomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {

@@ -302,7 +302,7 @@ func (s *Server) persistSweep(id string, created time.Time, req *SweepRequest) {
 	}
 	data, err := json.Marshal(persistedSweep{ID: id, Created: created, Request: *req})
 	if err == nil {
-		err = atomicWrite(filepath.Join(s.sweepDir, id+".json"), append(data, '\n'))
+		err = AtomicWrite(filepath.Join(s.sweepDir, id+".json"), append(data, '\n'))
 	}
 	if err != nil {
 		s.logf("sweep %s: persist: %v", id, err)
@@ -722,7 +722,7 @@ func (s *Server) checkpoint(st *sweepState, results []allarm.SweepResult) {
 		s.logf("sweep %s: checkpoint: %v", st.id, err)
 		return
 	}
-	if err := atomicWrite(path, buf.Bytes()); err != nil {
+	if err := AtomicWrite(path, buf.Bytes()); err != nil {
 		s.logf("sweep %s: checkpoint: %v", st.id, err)
 		return
 	}
@@ -1039,7 +1039,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		if s.traceDir != "" {
 			// Persist the raw bytes so "trace:ID" specs survive restarts
 			// (the id is the content hash, so the file is immutable).
-			if err := atomicWrite(filepath.Join(s.traceDir, id), data); err != nil {
+			if err := AtomicWrite(filepath.Join(s.traceDir, id), data); err != nil {
 				s.logf("trace %s: persist: %v", id, err)
 			}
 		}
