@@ -10,6 +10,9 @@
 //	allarm-serve -parallel 4 -cache 4096
 //	allarm-serve -cache-dir /var/lib/allarm -retain 24h
 //	allarm-serve -checkpoint /var/lib/allarm -grace 60s
+//	allarm-serve -cache-dir /var/lib/allarm -checkpoint-interval 500000
+//	                                          # machine-state checkpoints:
+//	                                          # kill-resume + preemption
 //	allarm-serve -auth tokens.json            # bearer-token multi-tenancy
 //	allarm-serve -result-store http://store:8360/v1/objects
 //	allarm-serve -object-serve                # serve this node's results
@@ -33,6 +36,9 @@
 //	GET    /v1/version              build version (fleet skew checks)
 //	GET    /v1/objects/             S3-style shared result store
 //	                                (with -object-serve)
+//	GET    /v1/checkpoints/{name}   pull a job's machine-state checkpoint
+//	POST   /v1/checkpoints/{name}   push one (fleet migration; with
+//	                                -checkpoint-interval/-checkpoint-dir)
 //	GET    /healthz                 liveness (reports draining)
 //	GET    /metrics                 counters: jobs run, cache hits
 //	                                (memory/disk), recoveries, aborts
@@ -44,6 +50,19 @@
 // original ids with already-computed jobs served from disk instead of
 // re-simulating. -retain bounds how long finished sweeps (not their
 // cached results) are kept.
+//
+// With -checkpoint-interval N the daemon additionally checkpoints the
+// full machine state of every running simulation every N events (under
+// -checkpoint-dir, default <cache-dir>/jobckpts). A killed daemon then
+// resumes interrupted jobs from their latest checkpoint at boot —
+// bit-identically, losing at most one interval of simulation — long
+// jobs yield their worker slot to waiting work at checkpoint
+// boundaries (preemption), and the /v1/checkpoints endpoints let
+// allarm-router migrate in-flight jobs between shards on membership
+// changes. Corrupt, truncated or version-skewed checkpoint files are
+// discarded and the job re-simulates from scratch. Note the distinct
+// roles: -checkpoint holds drain-time partial-result NDJSON,
+// -checkpoint-dir holds resumable machine state.
 //
 // On SIGINT/SIGTERM the daemon drains: submissions are refused,
 // in-flight sweeps get -grace to finish, and whatever is still running
@@ -88,6 +107,8 @@ func run() int {
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result store and restart recovery")
 		retain     = flag.Duration("retain", 0, "evict finished sweeps this long after completion (0 = keep forever)")
 		checkpoint = flag.String("checkpoint", "", "directory for drain-time partial-result checkpoints (default <cache-dir>/checkpoints)")
+		ckptEvery  = flag.Uint64("checkpoint-interval", 0, "events between machine-state job checkpoints (0 = off); enables resume-after-kill and preemption")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for machine-state job checkpoints (default <cache-dir>/jobckpts)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain grace period before in-flight sweeps are cancelled")
 		authFile   = flag.String("auth", "", "JSON file of client tokens (bearer auth, rate limits, job quotas)")
 		storeBase  = flag.String("result-store", "", "result store: an http(s) object endpoint or a directory (overrides <cache-dir>/results)")
@@ -105,11 +126,13 @@ func run() int {
 	defer stop()
 
 	opts := server.Options{
-		Workers:       *parallel,
-		CacheEntries:  *cacheSize,
-		CacheDir:      *cacheDir,
-		Retain:        *retain,
-		CheckpointDir: *checkpoint,
+		Workers:            *parallel,
+		CacheEntries:       *cacheSize,
+		CacheDir:           *cacheDir,
+		Retain:             *retain,
+		CheckpointDir:      *checkpoint,
+		CheckpointInterval: *ckptEvery,
+		JobCheckpointDir:   *ckptDir,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "allarm-serve: "+format+"\n", args...)
 		},

@@ -60,12 +60,14 @@ type CacheCtrl struct {
 	stats CtrlStats
 }
 
-// mshr is the single outstanding demand miss.
+// mshr is the single outstanding demand miss. done is a Handler — not
+// a closure — so an in-flight miss can be checkpointed: the system
+// layer resolves the handler's identity through its snapshot registry.
 type mshr struct {
 	addr   mem.PAddr
 	write  bool
 	issued sim.Time
-	done   func(now sim.Time)
+	done   sim.Handler
 }
 
 // sendEvent injects a message when the cache arrays release it. Records
@@ -133,10 +135,12 @@ func (c *CacheCtrl) occupy(now sim.Time) sim.Time {
 }
 
 // CoreAccess performs a demand load (write=false) or store (write=true)
-// to addr. done runs when the access completes (hit latency for hits; the
-// full coherence transaction for misses). At most one access may be
-// outstanding.
-func (c *CacheCtrl) CoreAccess(now sim.Time, addr mem.PAddr, write bool, done func(now sim.Time)) {
+// to addr. done.Handle runs when the access completes (hit latency for
+// hits; the full coherence transaction for misses). At most one access
+// may be outstanding. done is a typed Handler rather than a closure so
+// that a miss parked in the MSHR — or the completion event already in
+// the queue — remains serializable for machine-state checkpoints.
+func (c *CacheCtrl) CoreAccess(now sim.Time, addr mem.PAddr, write bool, done sim.Handler) {
 	if c.hasPending {
 		panic(fmt.Sprintf("coherence: node %d issued a second outstanding access", c.node))
 	}
@@ -164,7 +168,7 @@ func (c *CacheCtrl) CoreAccess(now sim.Time, addr mem.PAddr, write bool, done fu
 		} else if c.OnLoad != nil {
 			c.OnLoad(addr, l.Version)
 		}
-		c.eng.At(t, done)
+		c.eng.Schedule(t, done)
 		return
 	}
 
@@ -220,7 +224,7 @@ func (c *CacheCtrl) handleFill(now sim.Time, m *Msg) {
 		cmp.Op, cmp.Addr, cmp.Src, cmp.Dst, cmp.ToDir = CmpAck, m.Addr, c.node, c.home(m.Addr), true
 		cmp.TxnID = m.TxnID
 		c.port.Send(cmp)
-		c.eng.At(t, p.done)
+		c.eng.Schedule(t, p.done)
 		return
 	}
 
@@ -262,7 +266,7 @@ func (c *CacheCtrl) handleFill(now sim.Time, m *Msg) {
 	cmp.Op, cmp.Addr, cmp.Src, cmp.Dst, cmp.ToDir = CmpAck, m.Addr, c.node, c.home(m.Addr), true
 	cmp.TxnID = m.TxnID
 	c.port.Send(cmp)
-	c.eng.At(t, p.done)
+	c.eng.Schedule(t, p.done)
 }
 
 // handleProbe answers PrbInv / PrbDown / PrbLocal after queueing for the

@@ -41,7 +41,7 @@ func newCtrl(t *testing.T) (*CacheCtrl, *fakePort, *sim.Engine) {
 func TestReadMissSendsGetS(t *testing.T) {
 	cc, port, eng := newCtrl(t)
 	done := false
-	cc.CoreAccess(0, line(1), false, func(sim.Time) { done = true })
+	cc.CoreAccess(0, line(1), false, sim.HandlerFunc(func(sim.Time) { done = true }))
 	eng.Run(0)
 	if done {
 		t.Fatal("miss completed without a fill")
@@ -57,7 +57,7 @@ func TestReadMissSendsGetS(t *testing.T) {
 
 func TestWriteMissSendsGetM(t *testing.T) {
 	cc, port, eng := newCtrl(t)
-	cc.CoreAccess(0, line(1), true, func(sim.Time) {})
+	cc.CoreAccess(0, line(1), true, sim.HandlerFunc(func(sim.Time) {}))
 	eng.Run(0)
 	if m := port.last(); m.Op != GetM {
 		t.Fatalf("sent %v", m)
@@ -67,7 +67,7 @@ func TestWriteMissSendsGetM(t *testing.T) {
 func TestFillCompletesAndAcks(t *testing.T) {
 	cc, port, eng := newCtrl(t)
 	var doneAt sim.Time
-	cc.CoreAccess(0, line(1), false, func(now sim.Time) { doneAt = now })
+	cc.CoreAccess(0, line(1), false, sim.HandlerFunc(func(now sim.Time) { doneAt = now }))
 	eng.Run(0)
 	port.sent = nil
 	cc.HandleMsg(eng.Now(), &Msg{
@@ -98,7 +98,7 @@ func TestFillCompletesAndAcks(t *testing.T) {
 
 func TestWriteFillUpgradesToModifiedAndBumpsVersion(t *testing.T) {
 	cc, _, eng := newCtrl(t)
-	cc.CoreAccess(0, line(1), true, func(sim.Time) {})
+	cc.CoreAccess(0, line(1), true, sim.HandlerFunc(func(sim.Time) {}))
 	eng.Run(0)
 	cc.HandleMsg(eng.Now(), &Msg{
 		Op: DataMsg, Addr: line(1), Src: 1, Dst: 0,
@@ -116,7 +116,7 @@ func TestStoreHitBumpsVersion(t *testing.T) {
 	cc.Hierarchy().Fill(line(2), cache.Exclusive, false, 3)
 	var stored uint64
 	cc.OnStore = func(addr mem.PAddr, v uint64) { stored = v }
-	cc.CoreAccess(0, line(2), true, func(sim.Time) {})
+	cc.CoreAccess(0, line(2), true, sim.HandlerFunc(func(sim.Time) {}))
 	eng.Run(0)
 	if stored != 4 {
 		t.Fatalf("store version %d, want 4", stored)
@@ -224,7 +224,7 @@ func TestEvictionSendsPuts(t *testing.T) {
 	hier.Fill(line(3), cache.Exclusive, false, 0)
 	// Two more fills via the controller's fill path overflow both levels.
 	for i := 4; i <= 5; i++ {
-		cc.CoreAccess(eng.Now(), line(i), false, func(sim.Time) {})
+		cc.CoreAccess(eng.Now(), line(i), false, sim.HandlerFunc(func(sim.Time) {}))
 		eng.Run(0)
 		cc.HandleMsg(eng.Now(), &Msg{
 			Op: DataMsg, Addr: line(i), Src: 1, Dst: 0, Grant: cache.Exclusive,
@@ -254,14 +254,14 @@ func TestEvictionSendsPuts(t *testing.T) {
 
 func TestSecondOutstandingAccessPanics(t *testing.T) {
 	cc, _, eng := newCtrl(t)
-	cc.CoreAccess(0, line(1), false, func(sim.Time) {})
+	cc.CoreAccess(0, line(1), false, sim.HandlerFunc(func(sim.Time) {}))
 	eng.Run(0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
 		}
 	}()
-	cc.CoreAccess(eng.Now(), line(2), false, func(sim.Time) {})
+	cc.CoreAccess(eng.Now(), line(2), false, sim.HandlerFunc(func(sim.Time) {}))
 }
 
 func TestOpClassification(t *testing.T) {
@@ -284,7 +284,7 @@ func TestNoFillCompletesWithoutInstalling(t *testing.T) {
 	var doneAt sim.Time
 	var loaded []uint64
 	cc.OnLoad = func(addr mem.PAddr, version uint64) { loaded = append(loaded, version) }
-	cc.CoreAccess(0, line(1), false, func(now sim.Time) { doneAt = now })
+	cc.CoreAccess(0, line(1), false, sim.HandlerFunc(func(now sim.Time) { doneAt = now }))
 	eng.Run(0)
 	port.sent = nil
 	cc.HandleMsg(eng.Now(), &Msg{
@@ -316,7 +316,7 @@ func TestNoFillCompletesWithoutInstalling(t *testing.T) {
 // TestNoFillStorePanics: writes must never be served uncached.
 func TestNoFillStorePanics(t *testing.T) {
 	cc, _, eng := newCtrl(t)
-	cc.CoreAccess(0, line(1), true, func(sim.Time) {})
+	cc.CoreAccess(0, line(1), true, sim.HandlerFunc(func(sim.Time) {}))
 	eng.Run(0)
 	defer func() {
 		if recover() == nil {
@@ -335,7 +335,7 @@ func TestNoFillStorePanics(t *testing.T) {
 func TestProbeForwardPropagatesNoFill(t *testing.T) {
 	cc, port, eng := newCtrl(t)
 	// Fill the line as Modified owner first.
-	cc.CoreAccess(0, line(1), true, func(sim.Time) {})
+	cc.CoreAccess(0, line(1), true, sim.HandlerFunc(func(sim.Time) {}))
 	eng.Run(0)
 	cc.HandleMsg(eng.Now(), &Msg{Op: DataMsg, Addr: line(1), Src: 1, Dst: 0, Grant: cache.Modified})
 	eng.Run(0)

@@ -54,7 +54,7 @@ func TestCacheCtrlRecyclesMessages(t *testing.T) {
 
 	addr := mem.PAddr(0x40)
 	done := false
-	cc.CoreAccess(eng.Now(), addr, false, func(sim.Time) { done = true })
+	cc.CoreAccess(eng.Now(), addr, false, sim.HandlerFunc(func(sim.Time) { done = true }))
 	// The GetS went to the loopback port; answer it with a fill.
 	fill := cc.pool.Get()
 	fill.Op, fill.Addr, fill.Grant = DataMsg, addr, cache.Exclusive

@@ -1,0 +1,23 @@
+package dram
+
+import (
+	"allarm/internal/checkpoint"
+	"allarm/internal/sim"
+)
+
+// EncodeState writes the controller's mutable state: the service queue's
+// next-free time and the operation counters. Timing parameters come from
+// construction.
+func (c *Controller) EncodeState(e *checkpoint.Encoder) {
+	e.Section("dram")
+	e.I64(int64(c.nextFree))
+	checkpoint.EncodeStruct(e, &c.stats)
+}
+
+// DecodeState overwrites the controller's mutable state.
+func (c *Controller) DecodeState(d *checkpoint.Decoder) error {
+	d.Expect("dram")
+	c.nextFree = sim.Time(d.I64())
+	checkpoint.DecodeStruct(d, &c.stats)
+	return d.Err()
+}

@@ -144,6 +144,10 @@ func (rt *Router) mutateMembership(next func(cur *membership) ([]string, error))
 	rt.met.membershipChanges.Add(1)
 	rt.memMu.Unlock()
 	rt.logf("membership: %d shard(s): %s", len(mem.shards), strings.Join(mem.names(), ", "))
+	// In-flight jobs on departed shards migrate (with their machine-state
+	// checkpoints) before the skipped-job requeue runs: migration keeps
+	// their progress, requeue only re-places work that already failed.
+	rt.migrateInFlight(cur, mem)
 	rt.requeueSkipped("membership change")
 	return nil
 }

@@ -14,6 +14,7 @@ type routerMetrics struct {
 	sweepsRecovered   atomic.Uint64
 	jobsScattered     atomic.Uint64
 	jobsRequeued      atomic.Uint64
+	jobsMigrated      atomic.Uint64
 	shardFailures     atomic.Uint64
 	membershipChanges atomic.Uint64
 	tracesUploaded    atomic.Uint64
@@ -55,6 +56,10 @@ type Metrics struct {
 	// JobsRequeued counts skipped jobs re-dispatched onto a new ring
 	// owner after a membership change or health transition.
 	JobsRequeued uint64 `json:"jobs_requeued"`
+	// JobsMigrated counts in-flight jobs whose machine-state checkpoint
+	// was moved to a new owner on a membership change — the new shard
+	// resumed them instead of re-simulating from event zero.
+	JobsMigrated uint64 `json:"jobs_migrated"`
 	// ShardFailures counts shard sub-sweeps lost past the retry budget.
 	ShardFailures uint64 `json:"shard_failures"`
 	// MembershipChanges counts runtime shard-set mutations.
@@ -79,6 +84,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SweepsRecovered:    rt.met.sweepsRecovered.Load(),
 		JobsScattered:      rt.met.jobsScattered.Load(),
 		JobsRequeued:       rt.met.jobsRequeued.Load(),
+		JobsMigrated:       rt.met.jobsMigrated.Load(),
 		ShardFailures:      rt.met.shardFailures.Load(),
 		MembershipChanges:  rt.met.membershipChanges.Load(),
 		TracesUploaded:     rt.met.tracesUploaded.Load(),

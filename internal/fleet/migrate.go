@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"allarm/internal/server"
+)
+
+// migrateInFlight re-homes jobs that a membership mutation orphaned:
+// every non-terminal job owned by a shard that just left the fleet is
+// claimed onto its key's new ring owner, its machine-state checkpoint
+// (written by the old shard's -checkpoint-interval runner) is pulled
+// from the departed shard and pushed to the new owner, and the job is
+// re-dispatched there. The new owner's checkpoint-aware runner resumes
+// from the pushed snapshot instead of simulating from event zero, so a
+// planned shard retirement costs at most one checkpoint interval of
+// re-simulation per in-flight job — and the gathered results stay
+// byte-identical, because a resumed run is bit-identical to an
+// uninterrupted one.
+//
+// Checkpoint transfer is best-effort: a shard that never checkpointed
+// the job (checkpointing off, or the job just started), or one that is
+// already unreachable, simply means the new owner starts from scratch —
+// the old skip-and-requeue behavior, now the fallback rather than the
+// only path.
+func (rt *Router) migrateInFlight(old, cur *membership) {
+	if rt.ctx.Err() != nil {
+		return
+	}
+	departed := make(map[string]bool)
+	for _, name := range old.names() {
+		if cur.byName(name) == nil {
+			departed[name] = true
+		}
+	}
+	if len(departed) == 0 {
+		return
+	}
+	rt.mu.Lock()
+	sts := make([]*fleetSweep, 0, len(rt.sweeps))
+	for _, st := range rt.sweeps {
+		sts = append(sts, st)
+	}
+	rt.mu.Unlock()
+	for _, st := range sts {
+		rt.migrateSweep(st, old, cur, departed)
+	}
+}
+
+// migrateSweep migrates one sweep's orphaned in-flight jobs.
+func (rt *Router) migrateSweep(st *fleetSweep, old, cur *membership, departed map[string]bool) {
+	moved := st.claimMoved(
+		func(name string) bool { return departed[name] },
+		func(i int) (string, bool) {
+			si := cur.ring.lookup(st.expanded[i].Key(), cur.alive)
+			if si < 0 {
+				return "", false
+			}
+			return cur.shards[si].name, true
+		})
+	if len(moved) == 0 {
+		return
+	}
+	groups := make(map[*shard][]int)
+	for _, m := range moved {
+		name := server.CheckpointName(st.expanded[m.index].Key())
+		src, dst := old.byName(m.from), cur.byName(m.to)
+		switch data, ok := src.fetchCheckpoint(rt.ctx, name, rt.timeout); {
+		case !ok:
+			rt.logf("sweep %s: job %d: no checkpoint on %s; %s re-simulates from scratch",
+				st.id, m.index, m.from, m.to)
+		default:
+			if err := dst.pushCheckpoint(rt.ctx, name, data, rt.timeout); err != nil {
+				rt.logf("sweep %s: job %d: checkpoint push to %s: %v; it re-simulates from scratch",
+					st.id, m.index, m.to, err)
+				break
+			}
+			rt.met.jobsMigrated.Add(1)
+			rt.logf("sweep %s: job %d: checkpoint migrated %s -> %s (%d bytes)",
+				st.id, m.index, m.from, m.to, len(data))
+		}
+		groups[dst] = append(groups[dst], m.index)
+	}
+	rt.journalSweep(st)
+	rt.logf("sweep %s: migrated %d in-flight job(s) off retired shard(s)", st.id, len(moved))
+	rt.active.Add(1)
+	go rt.dispatch(st, groups)
+}

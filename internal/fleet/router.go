@@ -47,6 +47,21 @@
 // (whose content-addressed caches make the re-ask nearly free), and
 // resumes gathering; the recovered output is byte-identical to what the
 // uninterrupted gather would have produced.
+//
+// # Checkpoint migration
+//
+// When shards run with -checkpoint-interval, a membership change does
+// better than skip-and-requeue for in-flight work: every non-terminal
+// job owned by a departing shard has its machine-state checkpoint
+// pulled from the old owner (GET /v1/checkpoints/{name}) and pushed to
+// its key's new ring owner, which resumes the simulation mid-flight
+// instead of restarting from event zero. A planned shard retirement
+// therefore costs at most one checkpoint interval of re-simulation per
+// in-flight job, and the gathered output stays byte-identical because
+// resumed runs are bit-identical. The transfer is best-effort — no
+// checkpoint yet, or an already-dead shard, falls back to plain
+// re-dispatch — and late rows from the old owner are dropped by
+// ownership checks so a migrated job is never double-reported.
 package fleet
 
 import (
@@ -708,18 +723,25 @@ func (rt *Router) gatherGroup(st *fleetSweep, sh *shard, globals []int) {
 		rt.logf("sweep %s: shard %s lost %d jobs: %v", st.id, sh.name, len(globals), err)
 		for _, g := range globals {
 			serr := fmt.Errorf("shard %s: %w", sh.name, err)
-			st.setRecord(g, allarm.RecordOf(allarm.SweepResult{Job: st.expanded[g], Err: serr}))
-			st.jobUpdate(g, server.JobSkipped, serr.Error())
+			// Ownership-checked: a job migrated away mid-gather belongs to
+			// its new shard now and must not be skip-marked here.
+			if st.setRecordFrom(sh.name, g, allarm.RecordOf(allarm.SweepResult{Job: st.expanded[g], Err: serr})) {
+				st.jobUpdateFrom(sh.name, g, server.JobSkipped, serr.Error())
+			}
 		}
 		rt.checkpointSweep(st)
 		rt.requeueSweep(st, "shard "+sh.name+" failed")
 		return
 	}
 	for li, g := range globals {
-		st.setRecord(g, recs[li])
+		// Ownership-checked: drop rows for jobs a membership change
+		// migrated to a new shard while this gather was in flight.
+		if !st.setRecordFrom(sh.name, g, recs[li]) {
+			continue
+		}
 		// Reconcile statuses the SSE stream may not have delivered
 		// (idempotent: terminal states never regress).
-		st.jobUpdate(g, statusOfRecord(recs[li]), recs[li].Error)
+		st.jobUpdateFrom(sh.name, g, statusOfRecord(recs[li]), recs[li].Error)
 	}
 	rt.checkpointSweep(st)
 }
@@ -776,7 +798,7 @@ func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequ
 			if json.Unmarshal(ev.Data, &je) != nil || je.Index < 0 || je.Index >= len(globals) {
 				return
 			}
-			st.jobUpdate(globals[je.Index], je.Status, je.Error)
+			st.jobUpdateFrom(sh.name, globals[je.Index], je.Status, je.Error)
 		})
 		if err != nil && ctx.Err() == nil && sctx.Err() == nil {
 			rt.logf("sweep %s: shard %s: event stream broke, polling: %v", st.id, sh.name, err)

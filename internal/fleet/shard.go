@@ -294,6 +294,50 @@ func (sh *shard) fetchRecords(ctx context.Context, id string, timeout time.Durat
 	return allarm.ReadRecords(resp.Body)
 }
 
+// maxCheckpointBytes bounds a pulled machine-state checkpoint; it
+// matches the shard-side POST bound.
+const maxCheckpointBytes = 1 << 30
+
+// fetchCheckpoint pulls a job's machine-state checkpoint from the shard
+// (the first half of in-flight job migration). Absence — the shard
+// never checkpointed the job, or already finished it — is ok == false,
+// not an error: migration is an optimization, the new owner can always
+// simulate from scratch.
+func (sh *shard) fetchCheckpoint(ctx context.Context, name string, timeout time.Duration) ([]byte, bool) {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := sh.do(cctx, http.MethodGet, "/v1/checkpoints/"+name, nil)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCheckpointBytes))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// pushCheckpoint hands a migrated checkpoint to the job's new owner,
+// which will resume from it instead of simulating from event zero.
+func (sh *shard) pushCheckpoint(ctx context.Context, name string, data []byte, timeout time.Duration) error {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := sh.do(cctx, http.MethodPost, "/v1/checkpoints/"+name, data)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return newHTTPError(resp, body)
+	}
+	return nil
+}
+
 // sseEvent is one parsed frame of a shard's /events stream.
 type sseEvent struct {
 	Type string

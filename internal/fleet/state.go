@@ -175,11 +175,15 @@ func jobTerminal(status string) bool {
 // replay after a reconnect re-delivers old "running" frames, and the
 // fetch-time reconciliation must not double-count.
 func (st *fleetSweep) jobUpdate(i int, status, errMsg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobUpdateLocked(i, status, errMsg)
+}
+
+func (st *fleetSweep) jobUpdateLocked(i int, status, errMsg string) {
 	if !jobTerminal(status) && status != server.JobRunning {
 		return
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.terminal[i] {
 		return
 	}
@@ -210,6 +214,33 @@ func (st *fleetSweep) setRecord(i int, rec allarm.Record) {
 	st.have[i] = true
 	st.maybeFinishLocked()
 	st.mu.Unlock()
+}
+
+// setRecordFrom stores job i's row only if shard still owns the job,
+// reporting whether it was applied. A migration can re-home a job while
+// its old owner's gather is mid-flight; the old shard's late rows (and
+// its failure-synthesised skip rows) must not clobber the new owner's.
+func (st *fleetSweep) setRecordFrom(shard string, i int, rec allarm.Record) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.jobs[i].Shard != shard {
+		return false
+	}
+	st.records[i] = rec
+	st.have[i] = true
+	st.maybeFinishLocked()
+	return true
+}
+
+// jobUpdateFrom applies a job status change only if shard still owns
+// the job (the ownership-checked jobUpdate; see setRecordFrom).
+func (st *fleetSweep) jobUpdateFrom(shard string, i int, status, errMsg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.jobs[i].Shard != shard {
+		return
+	}
+	st.jobUpdateLocked(i, status, errMsg)
 }
 
 // statusOfRecord reconciles a job's final status from its gathered row,
@@ -333,6 +364,50 @@ func (st *fleetSweep) claimSkipped(place func(i int) (string, bool)) map[string]
 				Done: st.done, Total: st.total,
 			})
 		}
+	}
+	return moved
+}
+
+// migration is one in-flight job re-homed by a membership change: the
+// router moves its machine-state checkpoint from the departed owner to
+// the new one, then re-dispatches it there.
+type migration struct {
+	index    int
+	from, to string
+}
+
+// claimMoved atomically reassigns still-in-flight (non-terminal) jobs
+// whose current owner left the fleet, placing each on its key's new
+// ring owner. Unlike claimSkipped this touches jobs that never failed —
+// they are simply orphaned by an administrative membership change — so
+// nothing is un-terminated and the sweep never re-opens; the jobs go
+// back to pending under their new shard, and the ownership checks in
+// setRecordFrom/jobUpdateFrom silently drop whatever the old owner's
+// gather still delivers for them.
+func (st *fleetSweep) claimMoved(departed func(name string) bool, place func(i int) (string, bool)) []migration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var moved []migration
+	for i := range st.jobs {
+		if st.terminal[i] || !departed(st.jobs[i].Shard) {
+			continue
+		}
+		name, ok := place(i)
+		if !ok || name == st.jobs[i].Shard {
+			continue
+		}
+		moved = append(moved, migration{index: i, from: st.jobs[i].Shard, to: name})
+		st.jobs[i].Shard = name
+		st.jobs[i].Status = server.JobPending
+		st.jobs[i].Error = ""
+		st.have[i] = false
+		jv := st.jobs[i]
+		st.publish("job", jobEvent{
+			Sweep: st.id, Index: i,
+			Benchmark: jv.Benchmark, Policy: jv.Policy, PFKiB: jv.PFKiB,
+			Shard: jv.Shard, Status: jv.Status,
+			Done: st.done, Total: st.total,
+		})
 	}
 	return moved
 }

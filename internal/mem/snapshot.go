@@ -1,0 +1,106 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"allarm/internal/checkpoint"
+)
+
+// EncodeState writes the physical memory map's allocation state: the
+// per-node bump pointers, free-frame lists (in stack order — frame
+// recycling order affects future placements) and live-frame counts.
+func (m *PhysMem) EncodeState(e *checkpoint.Encoder) {
+	e.Section("phys")
+	e.Len(m.nodes)
+	e.U64(m.bytesPerNode)
+	for n := 0; n < m.nodes; n++ {
+		e.U64(m.next[n])
+		e.U64(m.allocated[n])
+		e.Len(len(m.free[n]))
+		for _, pa := range m.free[n] {
+			e.U64(uint64(pa))
+		}
+	}
+}
+
+// DecodeState overwrites the allocation state. The map must have the
+// geometry the checkpoint was taken with.
+func (m *PhysMem) DecodeState(d *checkpoint.Decoder) error {
+	d.Expect("phys")
+	nodes := d.Len(m.nodes)
+	bpn := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nodes != m.nodes || bpn != m.bytesPerNode {
+		return fmt.Errorf("mem: checkpoint geometry %d nodes × %d B, map has %d × %d",
+			nodes, bpn, m.nodes, m.bytesPerNode)
+	}
+	for n := 0; n < m.nodes; n++ {
+		m.next[n] = d.U64()
+		m.allocated[n] = d.U64()
+		cnt := d.Len(int(m.framesPer))
+		if err := d.Err(); err != nil {
+			return err
+		}
+		m.free[n] = m.free[n][:0]
+		for i := 0; i < cnt; i++ {
+			m.free[n] = append(m.free[n], PAddr(d.U64()))
+		}
+	}
+	return d.Err()
+}
+
+// EncodeState writes one address space's translation state: the page
+// table (sorted by virtual page, for a deterministic byte stream) and
+// allocation statistics. The placement policy is recorded and verified
+// on decode; the physical map is encoded separately by its owner.
+func (as *AddressSpace) EncodeState(e *checkpoint.Encoder) {
+	e.Section("space")
+	e.I64(int64(as.policy))
+	checkpoint.EncodeStruct(e, &as.stats)
+	vps := make([]VAddr, 0, len(as.pages))
+	for vp := range as.pages {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	e.Len(len(vps))
+	for _, vp := range vps {
+		pte := as.pages[vp]
+		e.U64(uint64(vp))
+		e.U64(uint64(pte.frame))
+		e.I64(int64(pte.home))
+		e.Bool(pte.nextTouch)
+	}
+}
+
+// DecodeState rebuilds the page table from a checkpoint, replacing any
+// existing mappings (a restore may run after the usual pre-placement
+// pass; the checkpointed state wins wholesale).
+func (as *AddressSpace) DecodeState(d *checkpoint.Decoder) error {
+	d.Expect("space")
+	pol := Policy(d.I64())
+	checkpoint.DecodeStruct(d, &as.stats)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if pol != as.policy {
+		return fmt.Errorf("mem: checkpoint policy %v, space has %v", pol, as.policy)
+	}
+	n := d.Len(1 << 40 / PageBytes)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	as.pages = make(map[VAddr]*pte, n)
+	for i := 0; i < n; i++ {
+		vp := VAddr(d.U64())
+		p := &pte{
+			frame:     PAddr(d.U64()),
+			home:      NodeID(d.I64()),
+			nextTouch: d.Bool(),
+		}
+		as.pages[vp] = p
+	}
+	return d.Err()
+}

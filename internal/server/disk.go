@@ -4,10 +4,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	allarm "allarm"
@@ -199,11 +201,16 @@ func (f fsObjects) count() (int, error) {
 	return len(names), nil
 }
 
-// AtomicWrite writes data to path via a same-directory temp file and
-// rename: a crash (SIGKILL included) leaves either the old content or
-// none, never a torn file. It is the write discipline every persistent
+// AtomicWrite writes data to path via a same-directory temp file,
+// fsync and rename: a crash (SIGKILL included) leaves either the old
+// content or none, never a torn file. The file is synced before the
+// rename and the parent directory after it, so the guarantee holds
+// through power loss too — without the fsyncs, a rename can be durable
+// while the data it points at is not, which is exactly a torn entry
+// after the next boot. It is the write discipline every persistent
 // artifact in the system uses — the result store's entries, the
-// daemon's sweep specs, and allarm-router's sweep journal.
+// daemon's sweep specs and job checkpoints, and allarm-router's sweep
+// journal.
 func AtomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
@@ -216,12 +223,34 @@ func AtomicWrite(path string, data []byte) error {
 		os.Remove(tmpName)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+// Platforms whose directory handles refuse fsync (some network
+// filesystems) degrade to the pre-fsync behavior rather than failing
+// the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
 		return err
 	}
 	return nil

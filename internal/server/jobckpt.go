@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	allarm "allarm"
+)
+
+// maxCheckpointBody bounds a POST /v1/checkpoints body; it matches the
+// checkpoint package's own decode bound, so anything the endpoint
+// accepts is at least parseable.
+const maxCheckpointBody = 1 << 30
+
+// CheckpointName maps a job key to its machine-state checkpoint file
+// name: the same sha256 content addressing as the result store
+// (objectName), with a distinct extension so the two namespaces can
+// never collide. Exported for allarm-router, which must compute the
+// identical name to migrate a checkpoint between shards.
+func CheckpointName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".ckpt"
+}
+
+// validCheckpointName guards the /v1/checkpoints path parameter: only
+// names CheckpointName can produce are accepted, so a request can never
+// escape the checkpoint directory or touch a foreign file.
+func validCheckpointName(name string) bool {
+	const hexLen = sha256.Size * 2
+	if len(name) != hexLen+len(".ckpt") || !strings.HasSuffix(name, ".ckpt") {
+		return false
+	}
+	_, err := hex.DecodeString(name[:hexLen])
+	return err == nil
+}
+
+// checkpointPath returns the on-disk path of a job's checkpoint.
+func (s *Server) checkpointPath(key string) string {
+	return filepath.Join(s.jobCkptDir, CheckpointName(key))
+}
+
+// runCheckpointed is the default job runner when machine-state
+// checkpointing is configured: it drives the simulation in
+// CheckpointInterval-event windows, writing a whole-machine snapshot at
+// every window boundary inside the measured region. A fresh run first
+// looks for a persisted checkpoint of the same job — left by a killed
+// predecessor, a preempted run, or a fleet migration push — and resumes
+// from it instead of simulating from event zero; resumed results are
+// bit-identical to uninterrupted ones (the resume contract is
+// golden-tested in the root package). Invalid checkpoints — corrupt,
+// truncated, version-skewed, or belonging to a different job — are
+// discarded with a log line and the job re-simulates from scratch: a
+// checkpoint is an optimization, never a correctness dependency.
+//
+// Between windows the runner also cooperates with the worker pool: when
+// another job is blocked waiting for a slot (s.waiting), the freshly
+// checkpointed run yields its slot and re-acquires one afterwards —
+// checkpoint-based preemption, so a long simulation cannot starve short
+// ones behind it. The preempted run loses no work: it continues from
+// its in-memory state, and the just-written checkpoint covers a crash
+// while it waits.
+func (s *Server) runCheckpointed(ctx context.Context, job allarm.Job) (*allarm.Result, error) {
+	path := s.checkpointPath(job.Key())
+	h, resumed, err := s.openOrResume(job, path)
+	if err != nil {
+		return nil, err
+	}
+	if resumed {
+		s.met.jobsResumed.Add(1)
+		s.markResumed(job.Key())
+		s.logf("job %s: resumed from checkpoint at %d events", CheckpointName(job.Key()), h.Events())
+	}
+	for {
+		done, err := h.Step(ctx, s.ckptInterval)
+		if err != nil {
+			// Partial is non-nil exactly for cancellations, matching
+			// Job.RunCtx's aborted-job contract; the checkpoint stays on
+			// disk so the next daemon resumes instead of re-simulating.
+			return h.Partial(), err
+		}
+		if done {
+			res, err := h.Result()
+			if err != nil {
+				return nil, err
+			}
+			os.Remove(path) // complete results live in the result store
+			return res, nil
+		}
+		if !h.CanSnapshot() {
+			continue // warmup: not a checkpointable boundary
+		}
+		s.writeJobCheckpoint(h, path)
+		if s.waiting.Load() > 0 {
+			// Yield the pool slot to a waiting job. Blocked senders queue
+			// FIFO, so the waiter that triggered the yield gets the slot
+			// before we re-acquire one. The invariant that runJob holds a
+			// slot from entry to return (lead acquires and releases it) is
+			// preserved: we always block until we hold one again.
+			s.met.jobsPreempted.Add(1)
+			<-s.sem
+			s.sem <- struct{}{}
+		}
+	}
+}
+
+// openOrResume opens a run handle for the job: resumed from its
+// persisted checkpoint when one exists and is valid, from scratch
+// otherwise. A rejected checkpoint (corruption, truncation, version
+// skew, wrong job) is deleted so it is not re-tried on every run.
+func (s *Server) openOrResume(job allarm.Job, path string) (*allarm.RunHandle, bool, error) {
+	if data, err := os.ReadFile(path); err == nil {
+		h, rerr := allarm.ResumeJob(job, bytes.NewReader(data))
+		if rerr == nil {
+			return h, true, nil
+		}
+		s.logf("job checkpoint %s: %v; re-simulating from scratch", filepath.Base(path), rerr)
+		os.Remove(path)
+	}
+	h, err := allarm.StartJob(job)
+	return h, false, err
+}
+
+// writeJobCheckpoint snapshots the paused run to its checkpoint file.
+// Failures are logged, never fatal: durability degrades, the simulation
+// does not.
+func (s *Server) writeJobCheckpoint(h *allarm.RunHandle, path string) {
+	var buf bytes.Buffer
+	if err := h.Snapshot(&buf); err != nil {
+		s.logf("job checkpoint %s: snapshot: %v", filepath.Base(path), err)
+		return
+	}
+	if err := AtomicWrite(path, buf.Bytes()); err != nil {
+		s.logf("job checkpoint %s: write: %v", filepath.Base(path), err)
+		return
+	}
+	s.met.checkpointsWritten.Add(1)
+	s.met.checkpointBytes.Add(uint64(buf.Len()))
+}
+
+// markResumed records that the job with this key was resumed from a
+// checkpoint, for the sweep's per-job view ("resumed":true).
+func (s *Server) markResumed(key string) {
+	s.mu.Lock()
+	if s.resumed == nil {
+		s.resumed = make(map[string]bool)
+	}
+	s.resumed[key] = true
+	s.mu.Unlock()
+}
+
+// takeResumed consumes the resumed mark for a key (read-once keeps the
+// map bounded by in-flight jobs; coalesced followers of the same
+// execution intentionally do not re-claim it).
+func (s *Server) takeResumed(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.resumed[key] {
+		return false
+	}
+	delete(s.resumed, key)
+	return true
+}
+
+// handleCheckpointGet serves a job's machine-state checkpoint — the
+// pull half of fleet shard migration: when a shard is retired, the
+// router fetches the in-flight jobs' checkpoints from it and pushes
+// them to the keys' new owners.
+func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validCheckpointName(name) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed checkpoint name %q", name))
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.jobCkptDir, name))
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no checkpoint %s", name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handleCheckpointPut accepts a pushed checkpoint (the other half of
+// migration): the next run of the matching job on this shard resumes
+// from it. The body is persisted verbatim with the same atomic
+// discipline as every other store file; validation happens at resume
+// time, where a bad blob falls back to a full re-simulation.
+func (s *Server) handleCheckpointPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validCheckpointName(name) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed checkpoint name %q", name))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading checkpoint: %w", err))
+		return
+	}
+	if err := AtomicWrite(filepath.Join(s.jobCkptDir, name), data); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logf("checkpoint %s: accepted (%d bytes)", name, len(data))
+	w.WriteHeader(http.StatusCreated)
+}

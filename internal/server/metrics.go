@@ -22,6 +22,10 @@ type metrics struct {
 	tracesUploaded     atomic.Uint64
 	simEvents          atomic.Uint64
 	simWallNs          atomic.Uint64
+	checkpointsWritten atomic.Uint64
+	checkpointBytes    atomic.Uint64
+	jobsResumed        atomic.Uint64
+	jobsPreempted      atomic.Uint64
 }
 
 // Metrics is the GET /metrics payload. Hit/miss/coalesced make cache
@@ -53,4 +57,13 @@ type Metrics struct {
 	TracesUploaded     uint64  `json:"traces_uploaded"`
 	SimEventsTotal     uint64  `json:"sim_events_total"`
 	SimEventsPerSec    float64 `json:"sim_events_per_sec"`
+	// Machine-state checkpointing (Options.CheckpointInterval):
+	// CheckpointsWritten/CheckpointBytes count periodic job snapshots,
+	// JobsResumed counts executions continued from a checkpoint instead
+	// of event zero, and JobsPreempted counts long jobs that yielded
+	// their pool slot to waiting work at a checkpoint boundary.
+	CheckpointsWritten uint64 `json:"checkpoints_written"`
+	CheckpointBytes    uint64 `json:"checkpoint_bytes"`
+	JobsResumed        uint64 `json:"jobs_resumed"`
+	JobsPreempted      uint64 `json:"jobs_preempted"`
 }

@@ -25,6 +25,26 @@
 // actually run. A SIGKILL therefore costs at most the simulations that
 // were mid-flight; everything completed is recovered byte-identically.
 //
+// # Machine-state checkpoints
+//
+// With Options.CheckpointInterval set (allarm-serve
+// -checkpoint-interval) even the mid-flight jobs survive: the runner
+// snapshots the full machine state of every running simulation — event
+// heap, caches, directories, MSHRs, workload cursors, rng streams —
+// every N events into jobckpts/ (sha256(Job.Key)-named files, written
+// with the same fsync'd temp+rename discipline as the result store).
+// After a kill, boot recovery re-enqueues the sweep as above and the
+// runner resumes each interrupted job from its checkpoint instead of
+// event zero; a resumed run is bit-identical to an uninterrupted one
+// (internal/checkpoint's golden-tested guarantee), so cached results
+// and rendered output are unaffected. Checkpoints are an optimization,
+// never a correctness dependency: a corrupt, truncated or
+// version-skewed file is discarded (CRC + version checks) and the job
+// re-simulates from scratch. Checkpoint boundaries also give the pool
+// preemption points — a long job yields its worker slot to waiting
+// work and resumes when a slot frees — and the /v1/checkpoints
+// endpoints let allarm-router migrate in-flight jobs between shards.
+//
 // # Cancellation
 //
 // Drain cancellation is threaded through Runner.Exec into the event
@@ -51,6 +71,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	allarm "allarm"
@@ -102,6 +123,24 @@ type Options struct {
 	// sweep still in flight when Drain cancels it. Empty with a CacheDir
 	// defaults to <CacheDir>/checkpoints.
 	CheckpointDir string
+	// CheckpointInterval, when positive, enables machine-state
+	// checkpointing of running simulations (allarm-serve
+	// -checkpoint-interval): every that-many events, the executing job's
+	// whole simulation state is snapshotted to the job checkpoint
+	// directory, a killed daemon resumes interrupted jobs from their
+	// latest checkpoint at boot instead of re-simulating from event
+	// zero, and long jobs are preempted at checkpoint boundaries when
+	// shorter work is waiting for a pool slot. Resumed results are
+	// bit-identical to uninterrupted ones. Ignored when Options.RunJob
+	// is set (the injected runner owns execution).
+	CheckpointInterval uint64
+	// JobCheckpointDir is where machine-state checkpoints live (one
+	// <sha256(Job.Key)>.ckpt per in-flight job). Empty with a CacheDir
+	// defaults to <CacheDir>/jobckpts; CheckpointInterval without any
+	// directory is a configuration error. The directory also backs the
+	// /v1/checkpoints endpoints allarm-router uses to migrate in-flight
+	// jobs between shards.
+	JobCheckpointDir string
 	// Retain, when positive, evicts finished sweeps (and their persisted
 	// specs and checkpoints) that reached a terminal state longer than
 	// this ago, instead of keeping them for the daemon's lifetime. The
@@ -132,9 +171,12 @@ type Server struct {
 	met           metrics
 	start         time.Time
 	runJob        func(ctx context.Context, j allarm.Job) (*allarm.Result, error)
-	sweepDir      string // persisted sweep specs (restart recovery); "" = none
-	traceDir      string // persisted trace uploads; "" = none
-	checkpointDir string // drain checkpoints; "" = none
+	sweepDir      string       // persisted sweep specs (restart recovery); "" = none
+	traceDir      string       // persisted trace uploads; "" = none
+	checkpointDir string       // drain checkpoints; "" = none
+	jobCkptDir    string       // machine-state job checkpoints; "" = off
+	ckptInterval  uint64       // events between job checkpoints
+	waiting       atomic.Int64 // jobs blocked on the worker pool (preemption signal)
 
 	mu       sync.Mutex
 	draining bool
@@ -143,6 +185,7 @@ type Server struct {
 	traces   map[string]allarm.Workload
 	traceIDs []string // upload order, oldest first (eviction)
 	nextID   uint64
+	resumed  map[string]bool // job keys resumed from a checkpoint (view flag)
 	active   sync.WaitGroup
 	actives  int // running sweep goroutines (metrics)
 }
@@ -170,10 +213,30 @@ func New(opts Options) (*Server, error) {
 		start:         time.Now(),
 		runJob:        opts.RunJob,
 		checkpointDir: opts.CheckpointDir,
+		jobCkptDir:    opts.JobCheckpointDir,
+		ckptInterval:  opts.CheckpointInterval,
 		sweeps:        make(map[string]*sweepState),
 		traces:        make(map[string]allarm.Workload),
 	}
-	if s.runJob == nil {
+	if s.ckptInterval > 0 && s.jobCkptDir == "" && opts.CacheDir != "" {
+		s.jobCkptDir = filepath.Join(opts.CacheDir, "jobckpts")
+	}
+	if s.ckptInterval > 0 && s.jobCkptDir == "" {
+		cancel()
+		return nil, fmt.Errorf("CheckpointInterval needs JobCheckpointDir or CacheDir (nowhere to persist checkpoints)")
+	}
+	if s.jobCkptDir != "" {
+		if err := os.MkdirAll(s.jobCkptDir, 0o755); err != nil {
+			cancel()
+			return nil, fmt.Errorf("job checkpoint dir: %w", err)
+		}
+	}
+	switch {
+	case s.runJob != nil:
+		// Injected runner (tests) owns execution.
+	case s.ckptInterval > 0:
+		s.runJob = s.runCheckpointed
+	default:
 		s.runJob = func(ctx context.Context, j allarm.Job) (*allarm.Result, error) { return j.RunCtx(ctx) }
 	}
 	if opts.Store != nil {
@@ -213,6 +276,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/version", handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.jobCkptDir != "" {
+		s.mux.HandleFunc("GET /v1/checkpoints/{name}", s.handleCheckpointGet)
+		s.mux.HandleFunc("POST /v1/checkpoints/{name}", s.handleCheckpointPut)
+	}
 	if opts.ObjectServeDir != "" {
 		oh, err := ObjectHandler(opts.ObjectServeDir)
 		if err != nil {
@@ -692,8 +759,10 @@ func (s *Server) runSweep(st *sweepState) {
 		// jobs resolve without occupying a pool slot.
 		Parallelism: s.workers,
 		Start:       func(i, _ int, _ allarm.Job) { st.jobStarted(i) },
-		JobDone:     func(i, _ int, r allarm.SweepResult) { st.jobFinished(i, r) },
-		Exec:        s.exec,
+		JobDone: func(i, _ int, r allarm.SweepResult) {
+			st.jobFinished(i, r, s.takeResumed(r.Job.Key()))
+		},
+		Exec: s.exec,
 	}
 	results, runErr := runner.Run(s.ctx, st.sweep)
 	checkpointed := runErr != nil
@@ -770,9 +839,15 @@ func (s *Server) lead(ctx context.Context, key string, job allarm.Job) (*allarm.
 		s.countHit(src)
 		return res, nil
 	}
+	// The waiting counter is the preemption signal: while it is
+	// non-zero, a checkpointing long job inside the pool yields its slot
+	// at the next checkpoint boundary (see runCheckpointed).
+	s.waiting.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		s.waiting.Add(-1)
 	case <-ctx.Done():
+		s.waiting.Add(-1)
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.sem }()
@@ -1131,6 +1206,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		TracesUploaded:     s.met.tracesUploaded.Load(),
 		SimEventsTotal:     events,
 		SimEventsPerSec:    perSec,
+		CheckpointsWritten: s.met.checkpointsWritten.Load(),
+		CheckpointBytes:    s.met.checkpointBytes.Load(),
+		JobsResumed:        s.met.jobsResumed.Load(),
+		JobsPreempted:      s.met.jobsPreempted.Load(),
 	}
 	if s.cache.disk != nil {
 		m.DiskEntries = s.cache.disk.Len()

@@ -47,7 +47,12 @@ type JobView struct {
 	Policy    string `json:"policy"`
 	PFKiB     int    `json:"pf_kib"`
 	Status    string `json:"status"`
-	Error     string `json:"error,omitempty"`
+	// Resumed marks a job whose simulation continued from a
+	// machine-state checkpoint (after a restart, a preemption by a dead
+	// predecessor, or a fleet migration) instead of starting at event
+	// zero. The result is bit-identical either way.
+	Resumed bool   `json:"resumed,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // SweepView is the GET /v1/sweeps/{id} payload.
@@ -81,6 +86,7 @@ type jobEvent struct {
 	Policy    string `json:"policy"`
 	PFKiB     int    `json:"pf_kib"`
 	Status    string `json:"status"`
+	Resumed   bool   `json:"resumed,omitempty"`
 	Done      int    `json:"done"`
 	Total     int    `json:"total"`
 	Error     string `json:"error,omitempty"`
@@ -166,11 +172,13 @@ func (st *sweepState) jobStarted(i int) {
 
 // jobFinished records job i's outcome (the Runner.JobDone hook),
 // distinguishing mid-run aborts from never-started skips on
-// cancellation.
-func (st *sweepState) jobFinished(i int, r allarm.SweepResult) {
+// cancellation. resumed marks an execution continued from a
+// machine-state checkpoint.
+func (st *sweepState) jobFinished(i int, r allarm.SweepResult, resumed bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.done++
+	st.jobs[i].Resumed = resumed
 	switch {
 	case r.Err == nil:
 		st.jobs[i].Status = JobDone
@@ -198,7 +206,8 @@ func (st *sweepState) jobEventLocked(i int) jobEvent {
 	return jobEvent{
 		Sweep: st.id, Index: i,
 		Benchmark: jv.Benchmark, Policy: jv.Policy, PFKiB: jv.PFKiB,
-		Status: jv.Status, Done: st.done, Total: st.total, Error: jv.Error,
+		Status: jv.Status, Resumed: jv.Resumed,
+		Done: st.done, Total: st.total, Error: jv.Error,
 	}
 }
 

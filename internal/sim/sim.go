@@ -76,6 +76,15 @@ type Handler interface {
 	Handle(now Time)
 }
 
+// HandlerFunc adapts a closure to the Handler interface. It is a
+// convenience for tests and one-off call sites; hot-path components use
+// concrete handler records (which also keeps them checkpointable — a
+// HandlerFunc in the queue cannot be serialized).
+type HandlerFunc func(now Time)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(now Time) { f(now) }
+
 // item is one queued event: exactly one of fire/h is set.
 type item struct {
 	at   Time

@@ -101,11 +101,41 @@ type Machine struct {
 	cpus  []*cpu
 	check *checker
 
+	// spaces records every address space created through
+	// NewAddressSpace, in creation order, so a machine checkpoint can
+	// capture (and a restore can re-fill) the full translation state.
+	spaces []*mem.AddressSpace
+
 	// deliveries recycles the NoC in-flight records, so message
 	// delivery allocates nothing in steady state.
 	deliveries sim.FreeList[delivery]
 
 	roiStart sim.Time
+
+	// run is the stepwise run in progress (Start/StepCtx); nil when no
+	// run is active.
+	run *runState
+}
+
+// runPhase tracks where a stepwise run is in its lifecycle.
+type runPhase uint8
+
+const (
+	phaseWarmup runPhase = iota + 1
+	phaseROI
+	phaseDone
+)
+
+// runState is the bookkeeping of one Start/StepCtx run: the thread set,
+// the current phase, the events fired within that phase (the MaxEvents
+// budget applies per phase, exactly as the original single-shot run
+// loop did), and the measured region's origin.
+type runState struct {
+	threads    []ThreadSpec
+	phase      runPhase
+	phaseFired uint64
+	roiStart   sim.Time
+	cancelled  bool
 }
 
 type node struct {
@@ -199,9 +229,12 @@ func (m *Machine) Engine() *sim.Engine { return m.eng }
 func (m *Machine) Phys() *mem.PhysMem { return m.phys }
 
 // NewAddressSpace creates a process address space over the machine's
-// physical memory.
+// physical memory. The machine remembers every space it hands out (in
+// creation order) so checkpoints capture translation state.
 func (m *Machine) NewAddressSpace(policy mem.Policy) *mem.AddressSpace {
-	return mem.NewAddressSpace(m.phys, policy)
+	s := mem.NewAddressSpace(m.phys, policy)
+	m.spaces = append(m.spaces, s)
+	return s
 }
 
 // Node returns node i's directory controller (tests/diagnostics).
@@ -221,9 +254,10 @@ func Preplace(space *mem.AddressSpace, wl workload.Preplacer, nodeOf func(thread
 
 // cpu is the in-order core model: it replays its stream, blocking on each
 // access until the memory system completes it. The issue loop is
-// allocation-free: stepFn is the step method bound once per run, and the
-// cpu itself is the sim.Handler for accesses pended behind a think delay
-// (at most one is outstanding).
+// allocation-free and closure-free: stepH is a typed handler embedded in
+// the cpu (so the completion event in the queue is a serializable record,
+// not an anonymous function), and the cpu itself is the sim.Handler for
+// accesses pended behind a think delay (at most one is outstanding).
 type cpu struct {
 	m        *Machine
 	idx      int
@@ -232,20 +266,29 @@ type cpu struct {
 	done     bool
 	finished sim.Time
 
-	stepFn sim.Event
+	stepH  cpuStep
 	pendPA mem.PAddr
 	pendWr bool
 }
 
+// cpuStep is the typed "issue the next access" event for one cpu. It is
+// a distinct handler type (rather than the cpu itself) because the cpu
+// already serves as the think-pend handler; the two roles must remain
+// distinguishable both to the engine and to the checkpoint registry.
+type cpuStep struct{ c *cpu }
+
+// Handle implements sim.Handler: issue the cpu's next access.
+func (s *cpuStep) Handle(now sim.Time) { s.c.step(now) }
+
 func newCPU(m *Machine, idx int, spec ThreadSpec) *cpu {
 	c := &cpu{m: m, idx: idx, spec: spec}
-	c.stepFn = c.step
+	c.stepH.c = c
 	return c
 }
 
 // Handle issues the access pended behind a think delay.
 func (c *cpu) Handle(now sim.Time) {
-	c.m.nodes[c.spec.Node].cc.CoreAccess(now, c.pendPA, c.pendWr, c.stepFn)
+	c.m.nodes[c.spec.Node].cc.CoreAccess(now, c.pendPA, c.pendWr, &c.stepH)
 }
 
 func (c *cpu) step(now sim.Time) {
@@ -261,7 +304,7 @@ func (c *cpu) step(now sim.Time) {
 		c.pendPA, c.pendWr = pa, acc.Write
 		c.m.eng.ScheduleAfter(acc.Think, c)
 	} else {
-		c.m.nodes[c.spec.Node].cc.CoreAccess(now, pa, acc.Write, c.stepFn)
+		c.m.nodes[c.spec.Node].cc.CoreAccess(now, pa, acc.Write, &c.stepH)
 	}
 }
 
@@ -302,18 +345,47 @@ func (m *Machine) Run(threads []ThreadSpec) (*RunResult, error) {
 // with an error wrapping ctx's error, so callers can checkpoint
 // sub-run progress. It also returns an error when the event budget is
 // exceeded or a post-run invariant fails.
+//
+// RunCtx is a thin loop over the stepwise Start/StepCtx/Finish API,
+// which external drivers use directly when they need safe event
+// boundaries between windows (periodic checkpointing, preemption).
 func (m *Machine) RunCtx(ctx context.Context, threads []ThreadSpec) (*RunResult, error) {
+	if err := m.Start(threads); err != nil {
+		return nil, err
+	}
+	for {
+		done, err := m.StepCtx(ctx, 0)
+		if err != nil {
+			if m.run.cancelled {
+				return m.collect(), err
+			}
+			return nil, err
+		}
+		if done {
+			return m.Finish()
+		}
+	}
+}
+
+// Start validates the thread set and schedules the run's first phase
+// (warmup when any thread has a warmup stream, otherwise the measured
+// region directly). Drive the run with StepCtx; collect with Finish.
+func (m *Machine) Start(threads []ThreadSpec) error {
+	if m.run != nil && m.run.phase != phaseDone {
+		return fmt.Errorf("system: Start while a run is active")
+	}
 	if len(threads) == 0 {
-		return nil, fmt.Errorf("system: no threads to run")
+		return fmt.Errorf("system: no threads to run")
 	}
 	for _, t := range threads {
 		if int(t.Node) < 0 || int(t.Node) >= m.cfg.Nodes {
-			return nil, fmt.Errorf("system: thread pinned to invalid node %d", t.Node)
+			return fmt.Errorf("system: thread pinned to invalid node %d", t.Node)
 		}
 		if t.Stream == nil || t.Space == nil {
-			return nil, fmt.Errorf("system: thread needs a stream and an address space")
+			return fmt.Errorf("system: thread needs a stream and an address space")
 		}
 	}
+	m.run = &runState{threads: threads}
 	// Warmup phase: replay initialisation streams, then reset statistics
 	// (cache, directory and network state carries over).
 	anyWarm := false
@@ -323,62 +395,111 @@ func (m *Machine) RunCtx(ctx context.Context, threads []ThreadSpec) (*RunResult,
 			break
 		}
 	}
-	if anyWarm {
-		m.cpus = m.cpus[:0]
-		for i, t := range threads {
-			if t.Warmup == nil {
-				continue
-			}
-			w := t
-			w.Stream = t.Warmup
-			c := newCPU(m, i, w)
-			m.cpus = append(m.cpus, c)
-			m.eng.At(m.eng.Now()+sim.Time(i)*100*sim.Picosecond, c.stepFn)
+	if !anyWarm {
+		m.beginROI()
+		return nil
+	}
+	m.run.phase = phaseWarmup
+	m.cpus = m.cpus[:0]
+	for i, t := range threads {
+		if t.Warmup == nil {
+			continue
 		}
-		fired, cerr := m.eng.RunCtx(ctx, m.cfg.MaxEvents)
-		if cerr != nil {
+		w := t
+		w.Stream = t.Warmup
+		c := newCPU(m, i, w)
+		m.cpus = append(m.cpus, c)
+		m.eng.Schedule(m.eng.Now()+sim.Time(i)*100*sim.Picosecond, &c.stepH)
+	}
+	return nil
+}
+
+// beginROI opens the measured region: fresh cpus for every thread,
+// starts staggered by 100 ps per thread to break lockstep symmetry.
+func (m *Machine) beginROI() {
+	r := m.run
+	r.roiStart = m.eng.Now()
+	r.phase = phaseROI
+	r.phaseFired = 0
+	m.cpus = m.cpus[:0]
+	for i, t := range r.threads {
+		c := newCPU(m, i, t)
+		m.cpus = append(m.cpus, c)
+		m.eng.Schedule(r.roiStart+sim.Time(i)*100*sim.Picosecond, &c.stepH)
+	}
+}
+
+// StepCtx advances the run by at most window events (0 = no window
+// bound; the per-phase MaxEvents budget still applies) and reports
+// whether the run has completed. A window boundary is a safe event
+// boundary: no event is mid-dispatch, so the machine may be
+// checkpointed (Snapshot) before the next StepCtx. On cancellation the
+// statistics collected so far remain retrievable via Collect.
+func (m *Machine) StepCtx(ctx context.Context, window uint64) (bool, error) {
+	r := m.run
+	if r == nil || r.phase == 0 {
+		return false, fmt.Errorf("system: Step without Start")
+	}
+	if r.phase == phaseDone {
+		return true, nil
+	}
+	limit := window
+	if m.cfg.MaxEvents > 0 {
+		remaining := uint64(0)
+		if r.phaseFired < m.cfg.MaxEvents {
+			remaining = m.cfg.MaxEvents - r.phaseFired
+		}
+		if limit == 0 || limit > remaining {
+			limit = remaining
+		}
+	}
+	fired, cerr := m.eng.RunCtx(ctx, limit)
+	r.phaseFired += fired
+	if cerr != nil {
+		r.cancelled = true
+		if r.phase == phaseWarmup {
 			// Cancelled during warmup: no measured region exists yet, so
-			// the partial result is empty-but-well-formed (zero times, the
-			// warmup's component counters).
+			// the partial result is empty-but-well-formed (zero times,
+			// the warmup's component counters).
 			m.roiStart = m.eng.Now()
-			return m.collect(), fmt.Errorf("system: cancelled during warmup at t=%v: %w", m.eng.Now(), cerr)
+			return false, fmt.Errorf("system: cancelled during warmup at t=%v: %w", m.eng.Now(), cerr)
 		}
-		if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
-			return nil, fmt.Errorf("system: event budget exhausted during warmup at t=%v", m.eng.Now())
+		m.roiStart = r.roiStart
+		return false, fmt.Errorf("system: cancelled at t=%v with %d threads in flight: %w",
+			m.eng.Now(), len(m.cpus), cerr)
+	}
+	if m.eng.Pending() == 0 {
+		if r.phase == phaseWarmup {
+			for _, c := range m.cpus {
+				if !c.done {
+					return false, fmt.Errorf("system: warmup thread %d(%s) did not finish", c.idx, c.spec.Name)
+				}
+			}
+			m.resetStats()
+			m.beginROI()
+			return false, nil
 		}
 		for _, c := range m.cpus {
 			if !c.done {
-				return nil, fmt.Errorf("system: warmup thread %d(%s) did not finish", c.idx, c.spec.Name)
+				return false, fmt.Errorf("system: thread %d(%s) did not finish (deadlock?)", c.idx, c.spec.Name)
 			}
 		}
-		m.resetStats()
+		m.roiStart = r.roiStart
+		r.phase = phaseDone
+		return true, nil
 	}
-
-	roiStart := m.eng.Now()
-	m.cpus = m.cpus[:0]
-	for i, t := range threads {
-		c := newCPU(m, i, t)
-		m.cpus = append(m.cpus, c)
-		// Stagger starts by 100 ps per thread to break lockstep symmetry.
-		m.eng.At(roiStart+sim.Time(i)*100*sim.Picosecond, c.stepFn)
-	}
-
-	fired, cerr := m.eng.RunCtx(ctx, m.cfg.MaxEvents)
-	if cerr != nil {
-		m.roiStart = roiStart
-		return m.collect(), fmt.Errorf("system: cancelled at t=%v with %d threads in flight: %w",
-			m.eng.Now(), len(m.cpus), cerr)
-	}
-	if m.cfg.MaxEvents > 0 && fired >= m.cfg.MaxEvents && m.eng.Pending() > 0 {
-		return nil, fmt.Errorf("system: event budget %d exhausted at t=%v (possible deadlock)", m.cfg.MaxEvents, m.eng.Now())
-	}
-	for _, c := range m.cpus {
-		if !c.done {
-			return nil, fmt.Errorf("system: thread %d(%s) did not finish (deadlock?)", c.idx, c.spec.Name)
+	if m.cfg.MaxEvents > 0 && r.phaseFired >= m.cfg.MaxEvents {
+		if r.phase == phaseWarmup {
+			return false, fmt.Errorf("system: event budget exhausted during warmup at t=%v", m.eng.Now())
 		}
+		return false, fmt.Errorf("system: event budget %d exhausted at t=%v (possible deadlock)", m.cfg.MaxEvents, m.eng.Now())
 	}
-	m.roiStart = roiStart
+	return false, nil
+}
 
+// Finish collects the completed run's statistics and applies the final
+// invariant check (when enabled).
+func (m *Machine) Finish() (*RunResult, error) {
 	res := m.collect()
 	if m.check != nil {
 		if err := m.check.finalCheck(); err != nil {
@@ -387,6 +508,12 @@ func (m *Machine) RunCtx(ctx context.Context, threads []ThreadSpec) (*RunResult,
 	}
 	return res, nil
 }
+
+// Collect returns the statistics gathered so far. It is meaningful
+// after the run completes or after a cancelled StepCtx (which fixes the
+// measured-region origin for partial results); external drivers use it
+// to report partial progress.
+func (m *Machine) Collect() *RunResult { return m.collect() }
 
 // resetStats zeroes every component's counters at the warmup/measurement
 // boundary; protocol and cache state is preserved.

@@ -1,6 +1,7 @@
 package allarm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -161,6 +162,26 @@ type DirectoryPolicy interface {
 	ProbeLocalOnRemoteMiss(addr uint64) bool
 }
 
+// StatefulDirectoryPolicy is optionally implemented by DirectoryPolicy
+// schemes that keep mutable decision state. Implementing it makes the
+// state part of machine checkpoints (see Checkpoints in README.md): a
+// job snapshotted mid-run and resumed elsewhere replays the policy's
+// decisions bit-identically. The serialization must be deterministic —
+// same state, same bytes — because checkpoint equality is compared
+// bytewise. Stateful policies that do NOT implement it cannot be
+// checkpointed; resume would silently diverge, so the snapshot layer
+// has no way to carry them and jobs under such policies re-simulate
+// from scratch after a restart.
+type StatefulDirectoryPolicy interface {
+	DirectoryPolicy
+	// SavePolicyState returns an opaque deterministic serialization of
+	// the policy's mutable state.
+	SavePolicyState() ([]byte, error)
+	// LoadPolicyState overwrites the policy's mutable state with a
+	// serialization produced by SavePolicyState.
+	LoadPolicyState(data []byte) error
+}
+
 // PolicyFactory builds one directory's policy instance.
 type PolicyFactory func(ctx PolicyContext) DirectoryPolicy
 
@@ -246,10 +267,16 @@ func (c Config) allocFactory(ranges *core.RangeSet) (func(node mem.NodeID) core.
 	inRange := func(addr uint64) bool { return ranges.Enabled(mem.PAddr(addr)) }
 	nodes := c.Nodes
 	return func(node mem.NodeID) core.AllocPolicy {
-		return allocAdapter{
-			name: name,
-			p:    e.public(PolicyContext{Node: int(node), Nodes: nodes, InRange: inRange}),
+		p := e.public(PolicyContext{Node: int(node), Nodes: nodes, InRange: inRange})
+		base := allocAdapter{name: name, p: p}
+		if sp, ok := p.(StatefulDirectoryPolicy); ok {
+			// Only stateful schemes advertise the checkpoint codec: the
+			// snapshot layer keys on the interface, and a stateless
+			// adapter claiming it would bloat every checkpoint with
+			// empty markers.
+			return statefulAllocAdapter{allocAdapter: base, sp: sp}
 		}
+		return base
 	}, nil
 }
 
@@ -285,6 +312,20 @@ func (a allocAdapter) OnMiss(m core.MissInfo) core.MissAction {
 func (a allocAdapter) ProbeLocalOnRemoteMiss(addr mem.PAddr) bool {
 	return a.p.ProbeLocalOnRemoteMiss(uint64(addr))
 }
+
+// statefulAllocAdapter additionally bridges a StatefulDirectoryPolicy
+// to the internal checkpoint codec (core.PolicyStateCodec), so the
+// policy's decision state rides along in machine snapshots.
+type statefulAllocAdapter struct {
+	allocAdapter
+	sp StatefulDirectoryPolicy
+}
+
+// SavePolicyState implements core.PolicyStateCodec.
+func (a statefulAllocAdapter) SavePolicyState() ([]byte, error) { return a.sp.SavePolicyState() }
+
+// LoadPolicyState implements core.PolicyStateCodec.
+func (a statefulAllocAdapter) LoadPolicyState(data []byte) error { return a.sp.LoadPolicyState(data) }
 
 // RegionBytes is the granularity at which ALLARMHyst observes sharing:
 // one OS page, the same granule first-touch placement works at.
@@ -329,4 +370,36 @@ func (p *hystPolicy) OnMiss(m Miss) MissAction {
 // ProbeLocalOnRemoteMiss implements DirectoryPolicy.
 func (p *hystPolicy) ProbeLocalOnRemoteMiss(addr uint64) bool {
 	return p.inRange == nil || p.inRange(addr)
+}
+
+// SavePolicyState implements StatefulDirectoryPolicy: the seen-region
+// set, sorted so the serialization is deterministic.
+func (p *hystPolicy) SavePolicyState() ([]byte, error) {
+	regions := make([]uint64, 0, len(p.seen))
+	for r := range p.seen {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	out := make([]byte, 0, 8+8*len(regions))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(regions)))
+	for _, r := range regions {
+		out = binary.LittleEndian.AppendUint64(out, r)
+	}
+	return out, nil
+}
+
+// LoadPolicyState implements StatefulDirectoryPolicy.
+func (p *hystPolicy) LoadPolicyState(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("allarm: hysteresis state truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) != 8+8*n {
+		return fmt.Errorf("allarm: hysteresis state length %d does not match %d regions", len(data), n)
+	}
+	p.seen = make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		p.seen[binary.LittleEndian.Uint64(data[8+8*i:])] = true
+	}
+	return nil
 }

@@ -118,16 +118,19 @@ func RunBenchmarkCtx(ctx context.Context, cfg Config, benchmark string) (*Result
 	return runWorkloadCtx(ctx, cfg, wl)
 }
 
-// runWorkloadCtx builds a machine, places the workload's pages, pins
-// thread i to node i mod Nodes, and runs to completion or cancellation.
-func runWorkloadCtx(ctx context.Context, cfg Config, wl Workload) (*Result, error) {
+// buildWorkloadMachine constructs the machine and thread specs for a
+// workload run: pages pre-placed per the workload's ForEachPage
+// declaration, thread i pinned to node i mod Nodes. The construction is
+// a deterministic function of (cfg, wl), which is what lets a resumed
+// job rebuild byte-identical streams for checkpoint fast-forward.
+func buildWorkloadMachine(cfg Config, wl Workload) (*system.Machine, []system.ThreadSpec, error) {
 	sysCfg, err := cfg.systemConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m, err := system.New(sysCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	space := m.NewAddressSpace(cfg.memPolicy())
 	nodeOf := func(t int) mem.NodeID { return mem.NodeID(t % cfg.Nodes) }
@@ -147,6 +150,16 @@ func runWorkloadCtx(ctx context.Context, cfg Config, wl Workload) (*Result, erro
 			spec.Warmup = intStream{s: ws}
 		}
 		threads = append(threads, spec)
+	}
+	return m, threads, nil
+}
+
+// runWorkloadCtx builds a machine, places the workload's pages, pins
+// thread i to node i mod Nodes, and runs to completion or cancellation.
+func runWorkloadCtx(ctx context.Context, cfg Config, wl Workload) (*Result, error) {
+	m, threads, err := buildWorkloadMachine(cfg, wl)
+	if err != nil {
+		return nil, err
 	}
 	rr, err := m.RunCtx(ctx, threads)
 	if err != nil {
@@ -216,19 +229,41 @@ func RunMultiProcess(cfg Config, mp MultiProcessConfig, benchmark string) (*Resu
 
 // RunMultiProcessCtx is RunMultiProcess with cancellation (see RunCtx).
 func RunMultiProcessCtx(ctx context.Context, cfg Config, mp MultiProcessConfig, benchmark string) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	m, threads, err := buildMultiProcessMachine(cfg, mp, benchmark)
+	if err != nil {
 		return nil, err
 	}
+	rr, err := m.RunCtx(ctx, threads)
+	if err != nil {
+		err = fmt.Errorf("allarm: multi-process %s (%v): %w", benchmark, cfg.Policy, err)
+		if rr != nil && IsCancellation(err) {
+			res := newResult(benchmark, cfg.Policy, rr)
+			res.Partial = true
+			return res, err
+		}
+		return nil, err
+	}
+	return newResult(benchmark, cfg.Policy, rr), nil
+}
+
+// buildMultiProcessMachine validates and constructs the machine and
+// thread specs of the Figure 4 multi-process experiment. Like
+// buildWorkloadMachine, the construction is deterministic so resumed
+// jobs can rebuild identical streams.
+func buildMultiProcessMachine(cfg Config, mp MultiProcessConfig, benchmark string) (*system.Machine, []system.ThreadSpec, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if mp.Copies <= 0 || mp.Copies > cfg.Nodes {
-		return nil, fmt.Errorf("allarm: copies must be in [1,%d]", cfg.Nodes)
+		return nil, nil, fmt.Errorf("allarm: copies must be in [1,%d]", cfg.Nodes)
 	}
 	if mp.FootprintBytes < 8<<10 {
-		return nil, fmt.Errorf("allarm: multi-process footprint too small")
+		return nil, nil, fmt.Errorf("allarm: multi-process footprint too small")
 	}
 
 	p, ok := workload.Preset(benchmark)
 	if !ok {
-		return nil, fmt.Errorf("allarm: unknown benchmark %q", benchmark)
+		return nil, nil, fmt.Errorf("allarm: unknown benchmark %q", benchmark)
 	}
 	// Rescale the benchmark's regions to the requested footprint,
 	// preserving its private/shared balance and page alignment.
@@ -248,7 +283,7 @@ func RunMultiProcessCtx(ctx context.Context, cfg Config, mp MultiProcessConfig, 
 
 	sysCfg, err := cfg.systemConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if mp.LocalMemBytes > 0 {
 		bytes := (uint64(mp.LocalMemBytes) / mem.PageBytes) * mem.PageBytes
@@ -259,7 +294,7 @@ func RunMultiProcessCtx(ctx context.Context, cfg Config, mp MultiProcessConfig, 
 	}
 	m, err := system.New(sysCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	spread := cfg.Nodes / mp.Copies
@@ -267,7 +302,7 @@ func RunMultiProcessCtx(ctx context.Context, cfg Config, mp MultiProcessConfig, 
 	for c := 0; c < mp.Copies; c++ {
 		wl, err := workload.NewSynthetic(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		node := mem.NodeID(c * spread)
 		space := m.NewAddressSpace(cfg.memPolicy())
@@ -280,15 +315,5 @@ func RunMultiProcessCtx(ctx context.Context, cfg Config, mp MultiProcessConfig, 
 			Name:   fmt.Sprintf("%s/p%d", benchmark, c),
 		})
 	}
-	rr, err := m.RunCtx(ctx, threads)
-	if err != nil {
-		err = fmt.Errorf("allarm: multi-process %s (%v): %w", benchmark, cfg.Policy, err)
-		if rr != nil && IsCancellation(err) {
-			res := newResult(benchmark, cfg.Policy, rr)
-			res.Partial = true
-			return res, err
-		}
-		return nil, err
-	}
-	return newResult(benchmark, cfg.Policy, rr), nil
+	return m, threads, nil
 }
