@@ -11,6 +11,7 @@
 //	allarm-bench -exp all -csv > runs.csv
 //	allarm-bench -benchjson              # simulator perf snapshot (JSON)
 //	allarm-bench -exp fig3a -cpuprofile cpu.pprof -memprofile mem.pprof
+//	allarm-bench -exp fig3a -exectrace trace.out  # runtime execution trace
 //
 // -policy swaps the optimised policy the figures evaluate against the
 // baseline (default "allarm", reproducing the paper exactly); any name
@@ -34,7 +35,9 @@
 // Performance section.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run, so
-// hot-path regressions are diagnosable without editing code.
+// hot-path regressions are diagnosable without editing code; -exectrace
+// writes a runtime execution trace (go tool trace) covering the same
+// span, for scheduler-level views of worker-pool behavior.
 package main
 
 import (
@@ -43,15 +46,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 )
+
+// logger carries diagnostics to stderr (results go to stdout); set once
+// in run after flags are parsed.
+var logger *slog.Logger
 
 // mainContext is cancelled on Ctrl-C so an in-flight sweep stops
 // promptly (finished runs are still emitted, with the rest marked
@@ -83,12 +93,20 @@ func run() int {
 		benchJSON  = flag.Bool("benchjson", false, "measure the simulator on the fixed benchmark matrix and emit a BENCH_*.json snapshot")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace to this file")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-bench", allarm.Version)
 		return 0
+	}
+	var lerr error
+	if logger, lerr = obs.NewLogger(os.Stderr, *logLevel, *logFormat); lerr != nil {
+		fmt.Fprintln(os.Stderr, "allarm-bench:", lerr)
+		return 1
 	}
 
 	cfg := allarm.ExperimentConfig()
@@ -102,38 +120,55 @@ func run() int {
 
 	opt, err := allarm.ParsePolicy(*policy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+		logger.Error(err.Error())
 		return 2
 	}
 
 	if *jsonOut && *csvOut {
-		fmt.Fprintln(os.Stderr, "allarm-bench: -json and -csv are mutually exclusive")
+		logger.Error("-json and -csv are mutually exclusive")
 		return 2
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			logger.Error(err.Error())
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			logger.Error(err.Error())
 			return 1
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			logger.Error(err.Error())
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			logger.Error(err.Error())
+			return 1
+		}
+		// Like StopCPUProfile, trace.Stop writes the trailer — it must run
+		// on every exit path, which is why main defers to run's status.
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
 	}
 	if *memProfile != "" {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+				logger.Error(err.Error())
 				return
 			}
 			defer f.Close()
 			runtime.GC() // profile live objects, not garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+				logger.Error(err.Error())
 			}
 		}()
 	}
@@ -145,11 +180,11 @@ func run() int {
 		// fixed matrix at experiment scale; reject flags that would
 		// silently change what BENCH_*.json claims to measure.
 		if *fullScale || *accesses > 0 {
-			fmt.Fprintln(os.Stderr, "allarm-bench: -benchjson measures the fixed matrix; -fullscale and -accesses are incompatible")
+			logger.Error("-benchjson measures the fixed matrix; -fullscale and -accesses are incompatible")
 			return 2
 		}
 		if err := emitBenchJSON(ctx, os.Stdout, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			logger.Error(err.Error())
 			return 1
 		}
 		return 0
@@ -162,8 +197,8 @@ func run() int {
 	runner := &allarm.Runner{Parallelism: *parallel}
 	if *progress {
 		runner.Progress = func(done, total int, r allarm.SweepResult) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s pf=%dkB\n",
-				done, total, r.Job.Benchmark, r.Job.Config.Policy, r.Job.Config.PFBytes>>10)
+			logger.Info(fmt.Sprintf("[%d/%d] %s/%s pf=%dkB",
+				done, total, r.Job.Benchmark, r.Job.Config.Policy, r.Job.Config.PFBytes>>10))
 		}
 	}
 
@@ -175,7 +210,7 @@ func run() int {
 		start := time.Now()
 		fmt.Printf("== %s ==\n", id)
 		if err := allarm.RunExperimentVs(ctx, os.Stdout, cfg, id, opt, runner); err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			logger.Error(err.Error())
 			return 1
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
@@ -191,7 +226,7 @@ func emitRaw(ctx context.Context, cfg allarm.Config, ids []string, opt allarm.Po
 	for _, id := range ids {
 		s, err := allarm.ExperimentSweepVs(cfg, id, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+			logger.Error(err.Error())
 			return 1
 		}
 		merged.Add(s.Jobs...)
@@ -204,7 +239,7 @@ func emitRaw(ctx context.Context, cfg allarm.Config, ids []string, opt allarm.Po
 		e = allarm.JSONEmitter{Indent: true}
 	}
 	if err := e.Emit(os.Stdout, results); err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-bench:", err)
+		logger.Error(err.Error())
 		return 1
 	}
 	// Per-job failures and cancellation are recorded in the emitted rows;

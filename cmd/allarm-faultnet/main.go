@@ -47,6 +47,7 @@ import (
 
 	allarm "allarm"
 	"allarm/internal/faultnet"
+	"allarm/internal/obs"
 )
 
 func main() {
@@ -55,30 +56,37 @@ func main() {
 
 func run() int {
 	var (
-		listen  = flag.String("listen", ":9347", "proxy listen address (host:port; port 0 picks one)")
-		target  = flag.String("target", "", "upstream: a base URL (HTTP mode) or host:port (-tcp mode)")
-		planP   = flag.String("plan", "", "JSON fault plan (required; empty rules = transparent proxy)")
-		seed    = flag.Int64("seed", 1, "RNG seed: same plan + seed + arrival order = same faults")
-		tcp     = flag.Bool("tcp", false, "proxy raw TCP instead of HTTP (uses conn-scoped rules)")
-		version = flag.Bool("version", false, "print version and exit")
+		listen    = flag.String("listen", ":9347", "proxy listen address (host:port; port 0 picks one)")
+		target    = flag.String("target", "", "upstream: a base URL (HTTP mode) or host:port (-tcp mode)")
+		planP     = flag.String("plan", "", "JSON fault plan (required; empty rules = transparent proxy)")
+		seed      = flag.Int64("seed", 1, "RNG seed: same plan + seed + arrival order = same faults")
+		tcp       = flag.Bool("tcp", false, "proxy raw TCP instead of HTTP (uses conn-scoped rules)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-faultnet", allarm.Version)
 		return 0
 	}
-	if *target == "" || *planP == "" {
-		fmt.Fprintln(os.Stderr, "allarm-faultnet: -target and -plan are required")
-		return 2
-	}
-	plan, err := faultnet.LoadPlan(*planP)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
 		return 1
 	}
+	if *target == "" || *planP == "" {
+		logger.Error("-target and -plan are required")
+		return 2
+	}
+	plan, err := faultnet.LoadPlan(*planP)
+	if err != nil {
+		logger.Error("loading plan", "error", err)
+		return 1
+	}
 	inj, err := faultnet.New(plan, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		logger.Error("building injector", "error", err)
 		return 1
 	}
 
@@ -95,7 +103,7 @@ func run() int {
 	if *tcp {
 		p, err := inj.ProxyTCP(*listen, *target)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+			logger.Error("tcp proxy", "error", err)
 			return 1
 		}
 		defer p.Close()
@@ -106,12 +114,12 @@ func run() int {
 
 	tu, err := url.Parse(*target)
 	if err != nil || tu.Scheme == "" || tu.Host == "" {
-		fmt.Fprintf(os.Stderr, "allarm-faultnet: -target must be a base URL in HTTP mode (got %q)\n", *target)
+		logger.Error("-target must be a base URL in HTTP mode", "got", *target)
 		return 2
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		logger.Error("listen", "error", err)
 		return 1
 	}
 	// Resolved address to stdout, same contract as the daemons: scripts
@@ -125,7 +133,7 @@ func run() int {
 	go func() { serveErr <- hs.Serve(ln) }()
 	select {
 	case err := <-serveErr:
-		fmt.Fprintln(os.Stderr, "allarm-faultnet:", err)
+		logger.Error("serve", "error", err)
 		return 1
 	case <-ctx.Done():
 	}

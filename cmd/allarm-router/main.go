@@ -27,7 +27,17 @@
 // jobs onto their new owner. The fleet's shard set can be changed at
 // runtime via POST/DELETE /v1/shards (admin-scoped when -auth is set)
 // or by sending SIGHUP to re-read -shards-file. GET /metrics reports
-// per-shard request, retry and unhealthy interval counters.
+// per-shard request, retry and unhealthy interval counters
+// (?format=prometheus adds latency histograms in text exposition).
+//
+// Observability: every response carries an X-Allarm-Request-Id header,
+// forwarded on each shard call so one client request correlates across
+// the whole fleet's logs. GET /v1/sweeps/{id}/timeline merges the
+// router's lifecycle events (accepted, expanded, assigned, gathered,
+// migrated, requeued, done) with each shard's per-job timeline into one
+// fleet-wide view; /debug/pprof serves live profiles. Both are
+// admin-scoped when -auth is set. -log-level and -log-format select
+// slog verbosity and text or JSON encoding.
 //
 // See the "Fleet serving" and "Fault tolerance" sections of README.md.
 package main
@@ -46,6 +56,7 @@ import (
 
 	allarm "allarm"
 	"allarm/internal/fleet"
+	"allarm/internal/obs"
 	"allarm/internal/server"
 )
 
@@ -91,12 +102,19 @@ func run() int {
 		backoff      = flag.Duration("retry-backoff", 0, "base backoff between retries, doubled per attempt with full jitter (0 = default 100ms)")
 		shardTimeout = flag.Duration("shard-timeout", 0, "per-attempt deadline on every shard call (0 = default 30s)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "deprecated alias for -shard-timeout")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-router", allarm.Version)
 		return 0
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-router:", err)
+		return 1
 	}
 
 	var shardList []string
@@ -128,9 +146,7 @@ func run() int {
 		ShardTimeout:   *shardTimeout,
 		RequestTimeout: *reqTimeout,
 		StateDir:       *stateDir,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "allarm-router: "+format+"\n", args...)
-		},
+		Logger:         logger,
 	}
 	if *authFile != "" {
 		guard, err := server.LoadGuard(*authFile)
@@ -160,16 +176,16 @@ func run() int {
 	go func() {
 		for range hup {
 			if *shardsFile == "" {
-				fmt.Fprintln(os.Stderr, "allarm-router: SIGHUP ignored (no -shards-file to reload)")
+				logger.Warn("SIGHUP ignored (no -shards-file to reload)")
 				continue
 			}
 			urls, err := readShardsFile(*shardsFile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "allarm-router: reload:", err)
+				logger.Error("reload", "error", err)
 				continue
 			}
 			if err := rt.SetShards(urls); err != nil {
-				fmt.Fprintln(os.Stderr, "allarm-router: reload:", err)
+				logger.Error("reload", "error", err)
 			}
 		}
 	}()
@@ -208,6 +224,6 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "allarm-router:", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "allarm-router: bye")
+	logger.Info("bye")
 	return 0
 }

@@ -29,6 +29,9 @@
 //	GET    /v1/sweeps/{id}/results  results; ?format= or Accept
 //	                                negotiates json, ndjson, csv, table
 //	GET    /v1/sweeps/{id}/events   live progress (Server-Sent Events)
+//	GET    /v1/sweeps/{id}/timeline lifecycle timeline: accepted,
+//	                                started, checkpointed, preempted,
+//	                                resumed, finished (admin under -auth)
 //	POST   /v1/traces               upload a captured trace; jobs
 //	                                reference it as "trace:<id>"
 //	GET    /v1/policies             registered directory policies
@@ -41,7 +44,15 @@
 //	                                -checkpoint-interval/-checkpoint-dir)
 //	GET    /healthz                 liveness (reports draining)
 //	GET    /metrics                 counters: jobs run, cache hits
-//	                                (memory/disk), recoveries, aborts
+//	                                (memory/disk), recoveries, aborts;
+//	                                ?format=prometheus for text
+//	                                exposition with latency histograms
+//	GET    /debug/pprof/            live CPU/heap/goroutine profiling
+//	                                (admin under -auth)
+//
+// Every response carries an X-Allarm-Request-Id header (minted when the
+// request did not send one); request logs include it, and -log-level /
+// -log-format select slog verbosity and text or JSON encoding.
 //
 // With -cache-dir the daemon is restart-safe: every complete result is
 // written through to a content-addressed disk store (keyed by the same
@@ -90,6 +101,7 @@ import (
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 	"allarm/internal/server"
 )
 
@@ -114,12 +126,19 @@ func run() int {
 		storeBase  = flag.String("result-store", "", "result store: an http(s) object endpoint or a directory (overrides <cache-dir>/results)")
 		storeToken = flag.String("result-store-token", "", "bearer token for an http(s) -result-store")
 		objServe   = flag.Bool("object-serve", false, "serve this node's result store to the fleet at /v1/objects/ (requires -cache-dir or a directory -result-store)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-serve", allarm.Version)
 		return 0
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
+		return 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -133,9 +152,7 @@ func run() int {
 		CheckpointDir:      *checkpoint,
 		CheckpointInterval: *ckptEvery,
 		JobCheckpointDir:   *ckptDir,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "allarm-serve: "+format+"\n", args...)
-		},
+		Logger:             logger,
 	}
 	if *authFile != "" {
 		guard, err := server.LoadGuard(*authFile)
@@ -202,7 +219,7 @@ func run() int {
 	}
 	stop() // a second signal kills immediately instead of re-draining
 
-	fmt.Fprintf(os.Stderr, "allarm-serve: signal received; draining (grace %s)\n", *grace)
+	logger.Info("signal received; draining", "grace", *grace)
 	dctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	srv.Drain(dctx)
@@ -213,6 +230,6 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "allarm-serve:", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "allarm-serve: drained; bye")
+	logger.Info("drained; bye")
 	return 0
 }

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 )
 
 // mainContext is cancelled on Ctrl-C so an in-flight sweep stops
@@ -64,12 +65,19 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
 		jsonOut   = flag.Bool("json", false, "emit raw per-run records as JSON")
 		csvOut    = flag.Bool("csv", false, "emit raw per-run records as CSV")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-sim", allarm.Version)
 		return 0
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+		return 1
 	}
 
 	if *list {
@@ -80,7 +88,7 @@ func run() int {
 		return 0
 	}
 	if *jsonOut && *csvOut {
-		fmt.Fprintln(os.Stderr, "allarm-sim: -json and -csv are mutually exclusive")
+		logger.Error("-json and -csv are mutually exclusive")
 		return 2
 	}
 
@@ -100,9 +108,9 @@ func run() int {
 		cfg.PFBytes = *pfKiB << 10
 	}
 
-	pol, err := allarm.ParsePolicy(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+	pol, perr := allarm.ParsePolicy(*policy)
+	if perr != nil {
+		logger.Error("invalid -policy", "error", perr)
 		return 2
 	}
 
@@ -111,19 +119,19 @@ func run() int {
 	case strings.HasPrefix(*wlFlag, "trace:"):
 		wl, err := allarm.LoadTrace(strings.TrimPrefix(*wlFlag, "trace:"))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+			logger.Error("loading trace", "error", err)
 			return 1
 		}
 		job.Workload = wl
 	case strings.HasPrefix(*wlFlag, "bench:"):
 		job.Benchmark = strings.TrimPrefix(*wlFlag, "bench:")
 	case *wlFlag != "":
-		fmt.Fprintf(os.Stderr, "allarm-sim: -workload wants bench:NAME or trace:FILE, got %q\n", *wlFlag)
+		logger.Error("-workload wants bench:NAME or trace:FILE", "got", *wlFlag)
 		return 2
 	}
 	if *multi > 0 {
 		if job.Workload != nil {
-			fmt.Fprintln(os.Stderr, "allarm-sim: -multi applies to benchmark presets only")
+			logger.Error("-multi applies to benchmark presets only")
 			return 2
 		}
 		mp := allarm.DefaultMultiProcess()
@@ -183,7 +191,7 @@ func run() int {
 		err = runErr
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "allarm-sim:", err)
+		logger.Error("sweep failed", "error", err)
 		return 1
 	}
 	return 0

@@ -17,31 +17,43 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 	"allarm/internal/trace"
 	"allarm/internal/workload"
 )
 
+// logger backs fatal(); set once in main after flags are parsed.
+var logger *slog.Logger
+
 func main() {
 	var (
-		gen      = flag.Bool("gen", false, "capture a benchmark trace")
-		info     = flag.String("info", "", "print a trace file's summary")
-		replay   = flag.String("replay", "", "replay a trace file under baseline and -policy, printing the comparison")
-		bench    = flag.String("bench", "barnes", "benchmark to capture")
-		out      = flag.String("o", "out.trace", "output path for -gen")
-		threads  = flag.Int("threads", 16, "thread count")
-		accesses = flag.Int("accesses", 10000, "accesses per thread")
-		seed     = flag.Uint64("seed", 1, "stream seed (capture) / simulation seed (replay)")
-		policy   = flag.String("policy", "allarm", "optimised policy for -replay (see allarm-sim -policy)")
-		check    = flag.Bool("check", false, "enable the coherence invariant checker for -replay")
-		version  = flag.Bool("version", false, "print version and exit")
+		gen       = flag.Bool("gen", false, "capture a benchmark trace")
+		info      = flag.String("info", "", "print a trace file's summary")
+		replay    = flag.String("replay", "", "replay a trace file under baseline and -policy, printing the comparison")
+		bench     = flag.String("bench", "barnes", "benchmark to capture")
+		out       = flag.String("o", "out.trace", "output path for -gen")
+		threads   = flag.Int("threads", 16, "thread count")
+		accesses  = flag.Int("accesses", 10000, "accesses per thread")
+		seed      = flag.Uint64("seed", 1, "stream seed (capture) / simulation seed (replay)")
+		policy    = flag.String("policy", "allarm", "optimised policy for -replay (see allarm-sim -policy)")
+		check     = flag.Bool("check", false, "enable the coherence invariant checker for -replay")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("allarm-trace", allarm.Version)
 		return
+	}
+	var lerr error
+	if logger, lerr = obs.NewLogger(os.Stderr, *logLevel, *logFormat); lerr != nil {
+		fmt.Fprintln(os.Stderr, "allarm-trace:", lerr)
+		os.Exit(1)
 	}
 
 	switch {
@@ -132,6 +144,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "allarm-trace:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

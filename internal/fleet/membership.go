@@ -258,6 +258,7 @@ func (rt *Router) requeueSweep(st *fleetSweep, reason string) {
 		n += len(idxs)
 	}
 	rt.met.jobsRequeued.Add(uint64(n))
+	st.timeline("requeued", -1, "", fmt.Sprintf("%d skipped job(s) after %s", n, reason))
 	rt.journalSweep(st)
 	rt.logf("sweep %s: requeued %d skipped job(s) after %s", st.id, n, reason)
 	rt.active.Add(1)

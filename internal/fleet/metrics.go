@@ -2,24 +2,57 @@ package fleet
 
 import (
 	"net/http"
-	"sync/atomic"
 	"time"
+
+	"allarm/internal/obs"
 )
 
-// routerMetrics are the router's internal counters.
+// routerMetrics are the router's internal counters and latency
+// histograms, registered in an obs.Registry so GET /metrics serves the
+// unchanged JSON object and Prometheus text exposition from one
+// source.
 type routerMetrics struct {
-	sweepsSubmitted   atomic.Uint64
-	sweepsCompleted   atomic.Uint64
-	sweepsDegraded    atomic.Uint64
-	sweepsRecovered   atomic.Uint64
-	jobsScattered     atomic.Uint64
-	jobsRequeued      atomic.Uint64
-	jobsMigrated      atomic.Uint64
-	shardFailures     atomic.Uint64
-	membershipChanges atomic.Uint64
-	tracesUploaded    atomic.Uint64
-	gathers           atomic.Uint64
-	gatherNs          atomic.Uint64
+	reg               *obs.Registry
+	sweepsSubmitted   *obs.Counter
+	sweepsCompleted   *obs.Counter
+	sweepsDegraded    *obs.Counter
+	sweepsRecovered   *obs.Counter
+	jobsScattered     *obs.Counter
+	jobsRequeued      *obs.Counter
+	jobsMigrated      *obs.Counter
+	shardFailures     *obs.Counter
+	membershipChanges *obs.Counter
+	tracesUploaded    *obs.Counter
+	gathers           *obs.Counter
+	gatherNs          *obs.Counter
+
+	// gatherLatency is the distribution of dispatch-wave wall times
+	// (scatter → every shard gathered), Prometheus-only.
+	gatherLatency *obs.Histogram
+}
+
+// newRouterMetrics registers the router's metric families under the
+// allarm_router_ prefix.
+func newRouterMetrics() *routerMetrics {
+	reg := obs.NewRegistry()
+	return &routerMetrics{
+		reg:               reg,
+		sweepsSubmitted:   reg.Counter("allarm_router_sweeps_submitted_total", "Sweeps accepted by the router."),
+		sweepsCompleted:   reg.Counter("allarm_router_sweeps_completed_total", "Sweeps fully gathered."),
+		sweepsDegraded:    reg.Counter("allarm_router_sweeps_degraded_total", "Sweeps finished with at least one shard's jobs skipped."),
+		sweepsRecovered:   reg.Counter("allarm_router_sweeps_recovered_total", "Sweeps restored from the journal at boot."),
+		jobsScattered:     reg.Counter("allarm_router_jobs_scattered_total", "Jobs dispatched to shards."),
+		jobsRequeued:      reg.Counter("allarm_router_jobs_requeued_total", "Skipped jobs re-dispatched onto a new ring owner."),
+		jobsMigrated:      reg.Counter("allarm_router_jobs_migrated_total", "In-flight jobs whose checkpoint moved to a new owner."),
+		shardFailures:     reg.Counter("allarm_router_shard_failures_total", "Shard sub-sweeps lost past the retry budget."),
+		membershipChanges: reg.Counter("allarm_router_membership_changes_total", "Runtime shard-set mutations."),
+		tracesUploaded:    reg.Counter("allarm_router_traces_uploaded_total", "Traces accepted and broadcast to shards."),
+		gathers:           reg.Counter("allarm_router_gathers_total", "Completed dispatch waves."),
+		gatherNs:          reg.Counter("allarm_router_gather_nanoseconds_total", "Wall nanoseconds summed over dispatch waves."),
+		gatherLatency: reg.Histogram("allarm_router_gather_duration_seconds",
+			"Wall time of one dispatch wave (scatter to fully gathered).",
+			1e-9, obs.ExpBuckets(1_000_000, 4_000_000_000_000)), // 1ms .. ~67min
+	}
 }
 
 // ShardMetrics is one shard's row in the router's GET /metrics answer.
@@ -41,7 +74,9 @@ type ShardMetrics struct {
 	Version string `json:"version,omitempty"`
 }
 
-// Metrics is the router's GET /metrics answer.
+// Metrics is the router's GET /metrics answer. Existing field names
+// are a compatibility contract (new fields may be appended); use
+// ?format=prometheus for histograms and labelled series.
 type Metrics struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	ShardsHealthy   int     `json:"shards_healthy"`
@@ -73,6 +108,13 @@ type Metrics struct {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// ?format=prometheus (or a text/plain Accept) selects exposition
+	// text; the default stays the JSON object, field names unchanged.
+	if obs.WantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		rt.met.reg.WritePrometheus(w)
+		return
+	}
 	now := time.Now()
 	mem := rt.mem.Load()
 	m := Metrics{

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"fmt"
+
 	"allarm/internal/server"
 )
 
@@ -74,6 +76,7 @@ func (rt *Router) migrateSweep(st *fleetSweep, old, cur *membership, departed ma
 				break
 			}
 			rt.met.jobsMigrated.Add(1)
+			st.timeline("migrated", m.index, m.to, fmt.Sprintf("checkpoint moved from %s (%d bytes)", m.from, len(data)))
 			rt.logf("sweep %s: job %d: checkpoint migrated %s -> %s (%d bytes)",
 				st.id, m.index, m.from, m.to, len(data))
 		}

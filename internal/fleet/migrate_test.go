@@ -144,6 +144,17 @@ func TestFleetMigratesInFlightJob(t *testing.T) {
 		t.Errorf("new owner jobs_resumed = 0: it re-simulated from scratch")
 	}
 
+	// The merged timeline records the migration and the new owner's
+	// resume (the departed shard's own events are unreachable — it left
+	// the fleet — so the router-side record is what survives).
+	tv := fleetTimeline(t, rts.URL, sr.ID)
+	if !hasEvent(tv.Events, "migrated") {
+		t.Errorf("merged timeline has no migrated event: %+v", tv.Events)
+	}
+	if !hasEvent(tv.Events, "resumed") {
+		t.Errorf("merged timeline has no resumed event from the new owner: %+v", tv.Events)
+	}
+
 	// Byte-identity across migration: the fleet's gathered CSV matches
 	// the uninterrupted single-node run.
 	_, csv := get(t, rts.URL+"/v1/sweeps/"+sr.ID+"/results?format=csv")

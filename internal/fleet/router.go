@@ -72,14 +72,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 	"allarm/internal/server"
 )
 
@@ -162,6 +165,11 @@ type Options struct {
 	JitterSeed int64
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, is the structured logger: lifecycle events
+	// go to it (at info) when Logf is nil, and the Handler emits one
+	// request log line per request with method/route/status/duration and
+	// the X-Allarm-Request-Id correlation id.
+	Logger *slog.Logger
 }
 
 // Router scatters sweeps over a shard fleet and gathers their results.
@@ -190,7 +198,7 @@ type Router struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	met routerMetrics
+	met *routerMetrics
 
 	mu     sync.Mutex
 	sweeps map[string]*fleetSweep
@@ -222,9 +230,24 @@ func New(opts Options) (*Router, error) {
 		attempts:  opts.Attempts,
 		backoff:   opts.RetryBackoff,
 		timeout:   opts.ShardTimeout,
+		met:       newRouterMetrics(),
 		sweeps:    make(map[string]*fleetSweep),
 		traces:    make(map[string]traceEntry),
 	}
+	rt.met.reg.Gauge("allarm_router_uptime_seconds", "Seconds since the router started.",
+		func() float64 { return time.Since(rt.start).Seconds() })
+	rt.met.reg.Gauge("allarm_router_shards_total", "Shards in the membership.",
+		func() float64 { return float64(len(rt.mem.Load().shards)) })
+	rt.met.reg.Gauge("allarm_router_shards_healthy", "Shards currently healthy.",
+		func() float64 {
+			n := 0
+			for _, sh := range rt.mem.Load().shards {
+				if sh.isHealthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
 	if rt.attempts <= 0 {
 		rt.attempts = defaultAttempts
 	}
@@ -276,6 +299,7 @@ func New(opts Options) (*Router, error) {
 	rt.mux.HandleFunc("DELETE /v1/sweeps/{id}", rt.handleDelete)
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}/results", rt.handleResults)
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}/events", rt.handleEvents)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}/timeline", rt.handleTimeline)
 	rt.mux.HandleFunc("POST /v1/traces", rt.handleTraceUpload)
 	rt.mux.HandleFunc("GET /v1/shards", rt.handleShardsList)
 	rt.mux.HandleFunc("POST /v1/shards", rt.handleShardAdd)
@@ -291,7 +315,25 @@ func New(opts Options) (*Router, error) {
 	})
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
-	rt.handler = opts.Guard.Wrap(rt.mux)
+	// pprof is admin-gated like the timeline and membership mutation:
+	// with a Guard the bearer is already verified (Wrap 401s otherwise)
+	// and non-admin clients get 403; without -auth it is open.
+	rt.mux.HandleFunc("/debug/pprof/", rt.adminOnly(pprof.Index))
+	rt.mux.HandleFunc("/debug/pprof/cmdline", rt.adminOnly(pprof.Cmdline))
+	rt.mux.HandleFunc("/debug/pprof/profile", rt.adminOnly(pprof.Profile))
+	rt.mux.HandleFunc("/debug/pprof/symbol", rt.adminOnly(pprof.Symbol))
+	rt.mux.HandleFunc("/debug/pprof/trace", rt.adminOnly(pprof.Trace))
+	// Request-id minting, request logging and per-route latency wrap
+	// outside the Guard so rejected requests are observable too.
+	rt.handler = obs.Instrument(opts.Guard.Wrap(rt.mux), obs.MiddlewareOptions{
+		Logger:   opts.Logger,
+		Registry: rt.met.reg,
+		Prefix:   "allarm_router_",
+		Route: func(r *http.Request) string {
+			_, pattern := rt.mux.Handler(r)
+			return pattern
+		},
+	})
 
 	rt.recoverSweeps()
 
@@ -316,8 +358,23 @@ func (rt *Router) Close() {
 }
 
 func (rt *Router) logf(format string, args ...any) {
-	if rt.opts.Logf != nil {
+	switch {
+	case rt.opts.Logf != nil:
 		rt.opts.Logf(format, args...)
+	case rt.opts.Logger != nil:
+		rt.opts.Logger.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// adminOnly wraps an operational handler (pprof) behind the admin
+// scope, mirroring the membership-mutation endpoints.
+func (rt *Router) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := server.CheckAdmin(r); err != nil {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
+		h(w, r)
 	}
 }
 
@@ -421,6 +478,10 @@ func (rt *Router) recoverSweep(e journalSweep) error {
 	st.expanded = sweep.Jobs
 	st.specs = buildSpecs(sweep, e.Request)
 	st.recovered = true
+	// Recovery has no inbound request; a fresh correlation id still
+	// stitches the resumed gather's logs and timeline together.
+	st.reqID = obs.NewRequestID()
+	st.timeline("accepted", -1, "", "recovered from journal")
 	missing := st.restore(rt.journal.loadCheckpoint(e.ID))
 
 	// Group the owed jobs by owner before the sweep is visible anywhere.
@@ -653,9 +714,12 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st.req = &req
 	st.expanded = sweep.Jobs
 	st.specs = buildSpecs(sweep, &req)
+	st.reqID = obs.RequestID(r.Context())
 	rt.sweeps[id] = st
 	rt.order = append(rt.order, id)
 	rt.mu.Unlock()
+	st.timeline("accepted", -1, "", "")
+	st.timeline("expanded", -1, "", fmt.Sprintf("%d job(s) over %d shard(s)", sweep.Len(), len(assign)))
 
 	// Journal before acknowledging: once the client holds a 202, a crash
 	// must not lose the sweep.
@@ -694,7 +758,9 @@ func (rt *Router) dispatch(st *fleetSweep, groups map[*shard][]int) {
 	wg.Wait()
 	rt.met.gathers.Add(1)
 	rt.met.gatherNs.Add(uint64(time.Since(begin).Nanoseconds()))
+	rt.met.gatherLatency.ObserveSince(begin)
 	if status, ok := st.takeFinishNotice(); ok {
+		st.timeline("done", -1, "", status)
 		rt.journalSweep(st)
 		if status == StatusDegraded {
 			rt.met.sweepsDegraded.Add(1)
@@ -743,6 +809,7 @@ func (rt *Router) gatherGroup(st *fleetSweep, sh *shard, globals []int) {
 		// (idempotent: terminal states never regress).
 		st.jobUpdateFrom(sh.name, g, statusOfRecord(recs[li]), recs[li].Error)
 	}
+	st.timeline("gathered", -1, sh.name, fmt.Sprintf("%d record(s)", len(recs)))
 	rt.checkpointSweep(st)
 }
 
@@ -754,7 +821,10 @@ func (rt *Router) gatherGroup(st *fleetSweep, sh *shard, globals []int) {
 // costs at most the retry budget, never a stalled sweep.
 func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequest, globals []int) ([]allarm.Record, error) {
 	sh.jobsAssigned.Add(uint64(len(globals)))
-	ctx := rt.ctx
+	// Shard calls run on the router's lifetime context (the inbound
+	// request returned 202 long ago), but carry the sweep's correlation
+	// id so every hop — submit, polls, record fetch — logs it.
+	ctx := obs.ContextWithRequestID(rt.ctx, st.reqID)
 
 	var id string
 	submit := func() error {
@@ -777,6 +847,8 @@ func (rt *Router) runShardSweep(st *fleetSweep, sh *shard, req *server.SweepRequ
 	if err := rt.retry(ctx, sh, submit); err != nil {
 		return nil, fmt.Errorf("submit: %w", err)
 	}
+	st.addShardRun(sh.name, id, globals)
+	st.timeline("assigned", -1, sh.name, fmt.Sprintf("%d job(s) as shard sweep %s", len(globals), id))
 
 	// The SSE stream is advisory progress (remapped local → global
 	// indices); the poll below decides completion. Running them
@@ -1051,6 +1123,51 @@ func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, st.view())
+}
+
+// handleTimeline serves the fleet-wide merged timeline: the router's
+// own lifecycle events interleaved chronologically with every
+// dispatched shard sub-sweep's timeline, shard-local job indices
+// remapped to global spec positions and each event tagged with the
+// shard it came from. A shard that is gone (or whose timeline needs a
+// scope the shard token lacks) degrades to the router-side view for
+// its events, never an error. Admin-scoped under -auth, like pprof.
+func (rt *Router) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	if err := server.CheckAdmin(r); err != nil {
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
+	st := rt.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	events := st.tl.Snapshot()
+	mem := rt.mem.Load()
+	ctx := obs.ContextWithRequestID(r.Context(), obs.RequestID(r.Context()))
+	for _, run := range st.shardRunsSnapshot() {
+		sh := mem.byName(run.shard)
+		if sh == nil {
+			continue // shard left the fleet; its events are unreachable
+		}
+		tv, err := sh.fetchTimeline(ctx, run.id, rt.timeout)
+		if err != nil {
+			rt.logf("sweep %s: shard %s timeline: %v", st.id, run.shard, err)
+			continue
+		}
+		for _, e := range tv.Events {
+			if e.Job >= 0 {
+				if e.Job >= len(run.globals) {
+					continue
+				}
+				e.Job = run.globals[e.Job]
+			}
+			e.Shard = run.shard
+			events = append(events, e)
+		}
+	}
+	obs.SortEvents(events)
+	writeJSON(w, obs.TimelineView{ID: st.id, Events: events})
 }
 
 // handleDelete forgets a finished gather — from memory and from the

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 	"allarm/internal/server"
 )
 
@@ -124,6 +125,11 @@ func (sh *shard) do(ctx context.Context, method, path string, body []byte) (*htt
 	}
 	if sh.token != "" {
 		req.Header.Set("Authorization", "Bearer "+sh.token)
+	}
+	// Forward the correlation id so the shard's request log and timeline
+	// carry the router-minted id for the originating client call.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	sh.requests.Add(1)
 	return sh.client.Do(req)
@@ -242,6 +248,14 @@ func (sh *shard) submitSweep(ctx context.Context, req *server.SweepRequest, time
 	return resp.ID, nil
 }
 
+// fetchTimeline pulls a shard sweep's per-job timeline for the
+// router's fleet-wide merge.
+func (sh *shard) fetchTimeline(ctx context.Context, id string, timeout time.Duration) (obs.TimelineView, error) {
+	var tv obs.TimelineView
+	err := sh.doJSON(ctx, http.MethodGet, "/v1/sweeps/"+id+"/timeline", nil, timeout, &tv)
+	return tv, err
+}
+
 // sweepStatus fetches a shard sweep's status view.
 func (sh *shard) sweepStatus(ctx context.Context, id string, timeout time.Duration) (server.SweepView, error) {
 	var v server.SweepView
@@ -260,6 +274,9 @@ func (sh *shard) uploadTrace(ctx context.Context, data []byte, timeout time.Dura
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if sh.token != "" {
 		req.Header.Set("Authorization", "Bearer "+sh.token)
+	}
+	if id := obs.RequestID(cctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	sh.requests.Add(1)
 	resp, err := sh.client.Do(req)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 	"allarm/internal/server"
 )
 
@@ -110,6 +111,15 @@ type fleetSweep struct {
 	expanded  []allarm.Job     // global spec order; placement keys
 	specs     []server.JobSpec // per-job sub-sweep spec (PFKiB pre-zeroed)
 	recovered bool             // restored from the journal at boot
+	reqID     string           // correlation id of the accepting request
+
+	// tl is the router-side lifecycle timeline; shardRuns records every
+	// shard sub-sweep dispatched for this sweep, so the timeline handler
+	// can fetch the shard-local timelines and merge them (remapping
+	// local job indices back to global spec positions).
+	tl        obs.Timeline
+	runsMu    sync.Mutex
+	shardRuns []shardRun
 
 	mu         sync.Mutex
 	status     string
@@ -143,6 +153,34 @@ func newFleetSweep(id string, jobs []JobView, now time.Time) *fleetSweep {
 		subs:     make(map[chan struct{}]struct{}),
 		finished: make(chan struct{}),
 	}
+}
+
+// shardRun is one dispatched shard sub-sweep: which shard, the
+// shard-local sweep id, and the global spec index of each local job.
+type shardRun struct {
+	shard   string
+	id      string
+	globals []int
+}
+
+// addShardRun records a dispatched sub-sweep for timeline merging.
+func (st *fleetSweep) addShardRun(shard, id string, globals []int) {
+	st.runsMu.Lock()
+	st.shardRuns = append(st.shardRuns, shardRun{shard: shard, id: id, globals: append([]int(nil), globals...)})
+	st.runsMu.Unlock()
+}
+
+func (st *fleetSweep) shardRunsSnapshot() []shardRun {
+	st.runsMu.Lock()
+	defer st.runsMu.Unlock()
+	return append([]shardRun(nil), st.shardRuns...)
+}
+
+// timeline appends one router-side lifecycle event, stamped with the
+// sweep's correlation id. job is the global spec index, -1 for
+// sweep-level events.
+func (st *fleetSweep) timeline(event string, job int, shard, detail string) {
+	st.tl.Add(obs.TimelineEvent{Event: event, Job: job, Shard: shard, Detail: detail, RequestID: st.reqID})
 }
 
 // publish appends an event and pokes subscribers. Callers hold st.mu.

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader carries the correlation id across daemon hops: the
+// router mints one per inbound request (or adopts the caller's),
+// echoes it on the response, and forwards it on every shard call, so
+// one id stitches together the request logs and timeline events of
+// every daemon a sweep touched.
+const RequestIDHeader = "X-Allarm-Request-Id"
+
+type requestIDKey struct{}
+
+// ContextWithRequestID returns a context carrying the correlation id,
+// picked up by instrumented outbound calls (fleet shard clients) and
+// by RequestID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the correlation id carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID mints a fresh 16-hex-char correlation id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// process-local counter rather than panicking in a request path.
+		n := fallbackID.Add(1)
+		return "local-" + hex.EncodeToString([]byte{
+			byte(n >> 40), byte(n >> 32), byte(n >> 24),
+			byte(n >> 16), byte(n >> 8), byte(n),
+		})
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+// MiddlewareOptions configures Instrument.
+type MiddlewareOptions struct {
+	// Logger receives one structured line per request (method, route,
+	// status, duration, request id). nil disables request logging.
+	Logger *slog.Logger
+	// Registry receives per-route latency histograms
+	// (<prefix>http_request_duration_seconds{route=...}). nil disables.
+	Registry *Registry
+	// Prefix prepends metric family names, e.g. "allarm_".
+	Prefix string
+	// Route maps a request to its low-cardinality route label, usually
+	// the ServeMux pattern. nil falls back to the raw URL path.
+	Route func(*http.Request) string
+}
+
+// Instrument wraps an HTTP handler with the observability trio:
+// request-id minting/propagation (header in, context + response header
+// out), structured request logging, and a per-route latency histogram.
+// It wraps outside auth so rejected requests are logged and timed too.
+func Instrument(next http.Handler, o MiddlewareOptions) http.Handler {
+	var (
+		mu     sync.Mutex
+		routes = make(map[string]*Histogram)
+	)
+	routeHist := func(route string) *Histogram {
+		mu.Lock()
+		defer mu.Unlock()
+		if h, ok := routes[route]; ok {
+			return h
+		}
+		h := o.Registry.Histogram(
+			o.Prefix+"http_request_duration_seconds",
+			"HTTP handler latency by route.",
+			1e-9, ExpBuckets(100_000, 100_000_000_000), // 100µs .. 100s
+			Label{"route", route},
+		)
+		routes[route] = h
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+			r.Header.Set(RequestIDHeader, id)
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(ContextWithRequestID(r.Context(), id))
+
+		route := r.URL.Path
+		if o.Route != nil {
+			if p := o.Route(r); p != "" {
+				route = p
+			}
+		}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		if o.Registry != nil {
+			routeHist(route).Observe(uint64(elapsed.Nanoseconds()))
+		}
+		if o.Logger != nil {
+			// Health and metrics scrapes arrive every few seconds from
+			// pollers; keep them out of the default log stream.
+			level := slog.LevelInfo
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+				level = slog.LevelDebug
+			}
+			o.Logger.LogAttrs(r.Context(), level, "request",
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed),
+				slog.String("request_id", id),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// statusWriter records the response status while passing Flush through
+// so instrumented SSE streams (/v1/sweeps/{id}/events) keep working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote = true
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	allarm "allarm"
 )
@@ -76,6 +77,7 @@ func (s *Server) runCheckpointed(ctx context.Context, job allarm.Job) (*allarm.R
 	if resumed {
 		s.met.jobsResumed.Add(1)
 		s.markResumed(job.Key())
+		s.jobEvent(job.Key(), "resumed", fmt.Sprintf("from checkpoint at %d events", h.Events()))
 		s.logf("job %s: resumed from checkpoint at %d events", CheckpointName(job.Key()), h.Events())
 	}
 	for {
@@ -97,7 +99,9 @@ func (s *Server) runCheckpointed(ctx context.Context, job allarm.Job) (*allarm.R
 		if !h.CanSnapshot() {
 			continue // warmup: not a checkpointable boundary
 		}
-		s.writeJobCheckpoint(h, path)
+		if s.writeJobCheckpoint(h, path) {
+			s.jobEvent(job.Key(), "checkpointed", fmt.Sprintf("at %d events", h.Events()))
+		}
 		if s.waiting.Load() > 0 {
 			// Yield the pool slot to a waiting job. Blocked senders queue
 			// FIFO, so the waiter that triggered the yield gets the slot
@@ -105,6 +109,7 @@ func (s *Server) runCheckpointed(ctx context.Context, job allarm.Job) (*allarm.R
 			// slot from entry to return (lead acquires and releases it) is
 			// preserved: we always block until we hold one again.
 			s.met.jobsPreempted.Add(1)
+			s.jobEvent(job.Key(), "preempted", "yielded pool slot at checkpoint boundary")
 			<-s.sem
 			s.sem <- struct{}{}
 		}
@@ -128,21 +133,25 @@ func (s *Server) openOrResume(job allarm.Job, path string) (*allarm.RunHandle, b
 	return h, false, err
 }
 
-// writeJobCheckpoint snapshots the paused run to its checkpoint file.
-// Failures are logged, never fatal: durability degrades, the simulation
-// does not.
-func (s *Server) writeJobCheckpoint(h *allarm.RunHandle, path string) {
+// writeJobCheckpoint snapshots the paused run to its checkpoint file,
+// reporting whether a checkpoint was persisted. Failures are logged,
+// never fatal: durability degrades, the simulation does not.
+func (s *Server) writeJobCheckpoint(h *allarm.RunHandle, path string) bool {
+	start := time.Now()
 	var buf bytes.Buffer
 	if err := h.Snapshot(&buf); err != nil {
 		s.logf("job checkpoint %s: snapshot: %v", filepath.Base(path), err)
-		return
+		return false
 	}
 	if err := AtomicWrite(path, buf.Bytes()); err != nil {
 		s.logf("job checkpoint %s: write: %v", filepath.Base(path), err)
-		return
+		return false
 	}
 	s.met.checkpointsWritten.Add(1)
 	s.met.checkpointBytes.Add(uint64(buf.Len()))
+	s.met.ckptWrite.ObserveSince(start)
+	s.met.ckptSize.Observe(uint64(buf.Len()))
+	return true
 }
 
 // markResumed records that the job with this key was resumed from a

@@ -1,31 +1,86 @@
 package server
 
-import "sync/atomic"
+import "allarm/internal/obs"
 
-// metrics are the daemon's monotonic counters, exported as the flat
-// expvar-style JSON object GET /metrics returns. Everything is atomic:
-// counters are bumped from worker goroutines and read from handlers.
+// metrics are the daemon's monotonic counters plus the latency/size
+// histograms, all registered in an obs.Registry so GET /metrics can
+// serve both the flat JSON object (unchanged shape) and Prometheus
+// text exposition from the same source. Counters are bumped from
+// worker goroutines and read from handlers; everything is atomic.
 type metrics struct {
-	sweepsSubmitted    atomic.Uint64
-	sweepsCompleted    atomic.Uint64
-	sweepsCheckpointed atomic.Uint64
-	sweepsRecovered    atomic.Uint64
-	sweepsDeleted      atomic.Uint64
-	sweepsExpired      atomic.Uint64
-	jobsRun            atomic.Uint64
-	jobsAborted        atomic.Uint64
-	jobErrors          atomic.Uint64
-	cacheHits          atomic.Uint64
-	cacheDiskHits      atomic.Uint64
-	cacheMisses        atomic.Uint64
-	coalesced          atomic.Uint64
-	tracesUploaded     atomic.Uint64
-	simEvents          atomic.Uint64
-	simWallNs          atomic.Uint64
-	checkpointsWritten atomic.Uint64
-	checkpointBytes    atomic.Uint64
-	jobsResumed        atomic.Uint64
-	jobsPreempted      atomic.Uint64
+	reg                *obs.Registry
+	sweepsSubmitted    *obs.Counter
+	sweepsCompleted    *obs.Counter
+	sweepsCheckpointed *obs.Counter
+	sweepsRecovered    *obs.Counter
+	sweepsDeleted      *obs.Counter
+	sweepsExpired      *obs.Counter
+	jobsRun            *obs.Counter
+	jobsAborted        *obs.Counter
+	jobErrors          *obs.Counter
+	cacheHits          *obs.Counter
+	cacheDiskHits      *obs.Counter
+	cacheMisses        *obs.Counter
+	coalesced          *obs.Counter
+	tracesUploaded     *obs.Counter
+	simEvents          *obs.Counter
+	simWallNs          *obs.Counter
+	checkpointsWritten *obs.Counter
+	checkpointBytes    *obs.Counter
+	jobsResumed        *obs.Counter
+	jobsPreempted      *obs.Counter
+
+	// Latency/size distributions (Prometheus-only; the JSON object stays
+	// flat counters). Samples are nanoseconds or bytes; exposition
+	// scales to seconds.
+	jobDuration *obs.Histogram // wall time actually simulating a job
+	queueWait   *obs.Histogram // pool-slot wait before a job starts
+	ckptWrite   *obs.Histogram // one machine-state checkpoint write
+	ckptSize    *obs.Histogram // bytes per machine-state checkpoint
+}
+
+// newMetrics registers every counter and histogram family under the
+// allarm_ prefix. Gauges that need the Server (uptime, active sweeps,
+// cache occupancy) are registered by New once the Server exists.
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:                reg,
+		sweepsSubmitted:    reg.Counter("allarm_sweeps_submitted_total", "Sweeps accepted by POST /v1/sweeps."),
+		sweepsCompleted:    reg.Counter("allarm_sweeps_completed_total", "Sweeps that reached a terminal status."),
+		sweepsCheckpointed: reg.Counter("allarm_sweeps_checkpointed_total", "Sweeps checkpointed with partial results at drain."),
+		sweepsRecovered:    reg.Counter("allarm_sweeps_recovered_total", "Unfinished sweeps re-enqueued from disk at boot."),
+		sweepsDeleted:      reg.Counter("allarm_sweeps_deleted_total", "Sweeps evicted by DELETE /v1/sweeps/{id}."),
+		sweepsExpired:      reg.Counter("allarm_sweeps_expired_total", "Finished sweeps evicted by the -retain reaper."),
+		jobsRun:            reg.Counter("allarm_jobs_run_total", "Jobs actually simulated (cache misses that ran)."),
+		jobsAborted:        reg.Counter("allarm_jobs_aborted_total", "Jobs cancelled mid-simulation by drain."),
+		jobErrors:          reg.Counter("allarm_job_errors_total", "Jobs that failed with an error."),
+		cacheHits:          reg.Counter("allarm_cache_hits_total", "Results served from the in-memory cache."),
+		cacheDiskHits:      reg.Counter("allarm_cache_disk_hits_total", "Results served from the persistent store."),
+		cacheMisses:        reg.Counter("allarm_cache_misses_total", "Jobs absent from every cache tier."),
+		coalesced:          reg.Counter("allarm_inflight_coalesced_total", "Duplicate concurrent jobs joined to one in-flight run."),
+		tracesUploaded:     reg.Counter("allarm_traces_uploaded_total", "Traces accepted by POST /v1/traces."),
+		simEvents:          reg.Counter("allarm_sim_events_total", "Simulation events executed across all jobs."),
+		simWallNs:          reg.Counter("allarm_sim_busy_nanoseconds_total", "Wall-clock nanoseconds spent actually simulating."),
+		checkpointsWritten: reg.Counter("allarm_checkpoints_written_total", "Machine-state job checkpoints persisted."),
+		checkpointBytes:    reg.Counter("allarm_checkpoint_bytes_total", "Bytes of machine-state checkpoints persisted."),
+		jobsResumed:        reg.Counter("allarm_jobs_resumed_total", "Jobs continued from a checkpoint instead of event zero."),
+		jobsPreempted:      reg.Counter("allarm_jobs_preempted_total", "Jobs that yielded their pool slot at a checkpoint boundary."),
+
+		jobDuration: reg.Histogram("allarm_job_duration_seconds",
+			"Wall time simulating one job.",
+			1e-9, obs.ExpBuckets(1_000_000, 4_000_000_000_000)), // 1ms .. ~67min
+		queueWait: reg.Histogram("allarm_job_queue_wait_seconds",
+			"Time a job waited for a worker-pool slot.",
+			1e-9, obs.ExpBuckets(100_000, 1_000_000_000_000)), // 100µs .. ~17min
+		ckptWrite: reg.Histogram("allarm_checkpoint_write_seconds",
+			"Duration of one machine-state checkpoint write.",
+			1e-9, obs.ExpBuckets(100_000, 100_000_000_000)), // 100µs .. 100s
+		ckptSize: reg.Histogram("allarm_checkpoint_size_bytes",
+			"Size of one machine-state checkpoint.",
+			1, obs.ExpBuckets(1024, 1<<34)), // 1KiB .. 16GiB
+	}
+	return m
 }
 
 // Metrics is the GET /metrics payload. Hit/miss/coalesced make cache
@@ -33,7 +88,9 @@ type metrics struct {
 // once" guarantee — observable from the outside; the disk-tier and
 // recovery counters do the same for restart durability, and
 // JobsAborted exposes how often drain actually interrupted a
-// simulation mid-run.
+// simulation mid-run. The existing field names are a compatibility
+// contract: new fields may be appended, but names never change — use
+// ?format=prometheus for labelled series and histograms.
 type Metrics struct {
 	UptimeSeconds      float64 `json:"uptime_seconds"`
 	Draining           bool    `json:"draining"`
@@ -56,7 +113,14 @@ type Metrics struct {
 	DiskEntries        int     `json:"disk_entries,omitempty"`
 	TracesUploaded     uint64  `json:"traces_uploaded"`
 	SimEventsTotal     uint64  `json:"sim_events_total"`
-	SimEventsPerSec    float64 `json:"sim_events_per_sec"`
+	// SimEventsPerSec is events over accumulated busy time (the wall
+	// clock actually spent simulating), so it holds steady on an idle
+	// daemon. SimBusySeconds exposes that denominator, and
+	// SimEventsPerUptimeSec the naive uptime-based rate for comparison —
+	// the latter decays toward zero whenever the daemon sits idle.
+	SimEventsPerSec       float64 `json:"sim_events_per_sec"`
+	SimBusySeconds        float64 `json:"sim_busy_seconds"`
+	SimEventsPerUptimeSec float64 `json:"sim_events_per_uptime_sec"`
 	// Machine-state checkpointing (Options.CheckpointInterval):
 	// CheckpointsWritten/CheckpointBytes count periodic job snapshots,
 	// JobsResumed counts executions continued from a checkpoint instead

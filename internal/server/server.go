@@ -64,7 +64,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -75,6 +77,7 @@ import (
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 )
 
 // Default sizing knobs.
@@ -154,6 +157,11 @@ type Options struct {
 	RunJob func(ctx context.Context, j allarm.Job) (*allarm.Result, error)
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, is the structured logger: lifecycle events
+	// go to it (at info) when Logf is nil, and the Handler emits one
+	// request log line per request with method/route/status/duration and
+	// the X-Allarm-Request-Id correlation id.
+	Logger *slog.Logger
 }
 
 // Server is the daemon state: sweeps, uploaded traces, the result cache
@@ -168,7 +176,7 @@ type Server struct {
 	sem           chan struct{}
 	cache         *tieredStore
 	flights       flightGroup
-	met           metrics
+	met           *metrics
 	start         time.Time
 	runJob        func(ctx context.Context, j allarm.Job) (*allarm.Result, error)
 	sweepDir      string       // persisted sweep specs (restart recovery); "" = none
@@ -188,6 +196,17 @@ type Server struct {
 	resumed  map[string]bool // job keys resumed from a checkpoint (view flag)
 	active   sync.WaitGroup
 	actives  int // running sweep goroutines (metrics)
+	// jobRefs maps an in-flight job key to every (sweep, index) running
+	// it, so checkpoint/preempt/resume events — which happen deep in the
+	// runner where only the Job is known — land on the right timelines,
+	// including every sweep coalesced onto one flight.
+	jobRefs map[string][]jobRef
+}
+
+// jobRef locates one job within one sweep's timeline.
+type jobRef struct {
+	st  *sweepState
+	idx int
 }
 
 // New returns a ready Server. With Options.CacheDir set it also opens
@@ -215,9 +234,37 @@ func New(opts Options) (*Server, error) {
 		checkpointDir: opts.CheckpointDir,
 		jobCkptDir:    opts.JobCheckpointDir,
 		ckptInterval:  opts.CheckpointInterval,
+		met:           newMetrics(),
 		sweeps:        make(map[string]*sweepState),
 		traces:        make(map[string]allarm.Workload),
+		jobRefs:       make(map[string][]jobRef),
 	}
+	// Gauges read live server state at exposition time.
+	s.met.reg.Gauge("allarm_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.met.reg.Gauge("allarm_sweeps_active", "Sweeps currently running.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.actives) })
+	s.met.reg.Gauge("allarm_draining", "1 while the daemon is draining.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.draining {
+				return 1
+			}
+			return 0
+		})
+	s.met.reg.Gauge("allarm_cache_entries", "Results in the in-memory cache.",
+		func() float64 { return float64(s.cache.lru.Len()) })
+	s.met.reg.Gauge("allarm_cache_capacity", "In-memory cache capacity.",
+		func() float64 { return float64(s.cache.lru.cap) })
+	s.met.reg.Gauge("allarm_sim_events_per_second", "Simulation events over accumulated busy time.",
+		func() float64 {
+			wallNs, events := s.met.simWallNs.Load(), s.met.simEvents.Load()
+			if wallNs == 0 {
+				return 0
+			}
+			return float64(events) / (float64(wallNs) / 1e9)
+		})
 	if s.ckptInterval > 0 && s.jobCkptDir == "" && opts.CacheDir != "" {
 		s.jobCkptDir = filepath.Join(opts.CacheDir, "jobckpts")
 	}
@@ -270,6 +317,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -288,7 +336,26 @@ func New(opts Options) (*Server, error) {
 		}
 		s.mux.Handle("/v1/objects/", http.StripPrefix("/v1/objects", oh))
 	}
-	s.handler = opts.Guard.Wrap(s.mux)
+	// pprof is admin-gated like the timeline: with a Guard the request
+	// already carries a valid bearer token (Wrap 401s otherwise) and
+	// adminOnly 403s non-admin clients; without -auth it is open,
+	// matching /metrics conventions.
+	s.mux.HandleFunc("/debug/pprof/", adminOnly(pprof.Index))
+	s.mux.HandleFunc("/debug/pprof/cmdline", adminOnly(pprof.Cmdline))
+	s.mux.HandleFunc("/debug/pprof/profile", adminOnly(pprof.Profile))
+	s.mux.HandleFunc("/debug/pprof/symbol", adminOnly(pprof.Symbol))
+	s.mux.HandleFunc("/debug/pprof/trace", adminOnly(pprof.Trace))
+	// Request-id minting, request logging and per-route latency wrap
+	// outside the Guard so rejected requests are observable too.
+	s.handler = obs.Instrument(opts.Guard.Wrap(s.mux), obs.MiddlewareOptions{
+		Logger:   opts.Logger,
+		Registry: s.met.reg,
+		Prefix:   "allarm_",
+		Route: func(r *http.Request) string {
+			_, pattern := s.mux.Handler(r)
+			return pattern
+		},
+	})
 	if err := s.recover(); err != nil {
 		cancel()
 		return nil, err
@@ -313,8 +380,24 @@ func handleVersion(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Close() { s.cancel() }
 
 func (s *Server) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
+	switch {
+	case s.opts.Logf != nil:
 		s.opts.Logf(format, args...)
+	case s.opts.Logger != nil:
+		s.opts.Logger.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// adminOnly wraps an operational handler (pprof) behind the admin
+// scope: 403 for authenticated non-admin clients, open when no Guard
+// is configured.
+func adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := CheckAdmin(r); err != nil {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
+		h(w, r)
 	}
 }
 
@@ -432,6 +515,11 @@ func (s *Server) recover() error {
 	}
 	for _, st := range states {
 		s.met.sweepsRecovered.Add(1)
+		// Recovery has no inbound request; mint a fresh correlation id so
+		// the recovered run's timeline and logs still stitch together.
+		st.reqID = obs.NewRequestID()
+		st.timeline("accepted", -1, "recovered from persisted spec")
+		st.timeline("expanded", -1, fmt.Sprintf("%d job(s)", st.total))
 		s.logf("sweep %s: recovered from %s (%d jobs)", st.id, s.sweepDir, st.total)
 		go s.runSweep(st)
 	}
@@ -730,6 +818,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// id, a crash must not forget the sweep.
 	s.persistSweep(id, created, &req)
 	s.met.sweepsSubmitted.Add(1)
+	st.reqID = obs.RequestID(r.Context())
+	st.timeline("accepted", -1, "")
+	st.timeline("expanded", -1, fmt.Sprintf("%d job(s)", sweep.Len()))
 	s.logf("sweep %s: %d jobs submitted", id, sweep.Len())
 	go s.runSweep(st)
 
@@ -758,8 +849,12 @@ func (s *Server) runSweep(st *sweepState) {
 		// multiply — the simulation workers. Cache hits and coalesced
 		// jobs resolve without occupying a pool slot.
 		Parallelism: s.workers,
-		Start:       func(i, _ int, _ allarm.Job) { st.jobStarted(i) },
+		Start: func(i, _ int, j allarm.Job) {
+			s.registerJobRef(j.Key(), st, i)
+			st.jobStarted(i)
+		},
 		JobDone: func(i, _ int, r allarm.SweepResult) {
+			s.unregisterJobRef(r.Job.Key(), st, i)
 			st.jobFinished(i, r, s.takeResumed(r.Job.Key()))
 		},
 		Exec: s.exec,
@@ -843,6 +938,7 @@ func (s *Server) lead(ctx context.Context, key string, job allarm.Job) (*allarm.
 	// non-zero, a checkpointing long job inside the pool yields its slot
 	// at the next checkpoint boundary (see runCheckpointed).
 	s.waiting.Add(1)
+	enqueued := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 		s.waiting.Add(-1)
@@ -851,11 +947,13 @@ func (s *Server) lead(ctx context.Context, key string, job allarm.Job) (*allarm.
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.sem }()
+	s.met.queueWait.ObserveSince(enqueued)
 
 	s.met.cacheMisses.Add(1)
 	start := time.Now()
 	res, err := s.runJob(ctx, job)
 	s.met.jobsRun.Add(1)
+	s.met.jobDuration.ObserveSince(start)
 	if err != nil {
 		switch {
 		case !allarm.IsCancellation(err):
@@ -883,6 +981,62 @@ func (s *Server) lookup(id string) *sweepState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sweeps[id]
+}
+
+// registerJobRef records that sweep st's job idx is in flight under
+// key, so runner-level events (checkpoint, preempt, resume) reach its
+// timeline.
+func (s *Server) registerJobRef(key string, st *sweepState, idx int) {
+	s.mu.Lock()
+	s.jobRefs[key] = append(s.jobRefs[key], jobRef{st, idx})
+	s.mu.Unlock()
+}
+
+func (s *Server) unregisterJobRef(key string, st *sweepState, idx int) {
+	s.mu.Lock()
+	refs := s.jobRefs[key]
+	for i, ref := range refs {
+		if ref.st == st && ref.idx == idx {
+			refs = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(s.jobRefs, key)
+	} else {
+		s.jobRefs[key] = refs
+	}
+	s.mu.Unlock()
+}
+
+// jobEvent fans a runner-level event out to the timeline of every
+// sweep currently running the job — with coalescing, one execution can
+// serve several sweeps, and each should see the event.
+func (s *Server) jobEvent(key, event, detail string) {
+	s.mu.Lock()
+	refs := append([]jobRef(nil), s.jobRefs[key]...)
+	s.mu.Unlock()
+	for _, ref := range refs {
+		ref.st.timeline(event, ref.idx, detail)
+	}
+}
+
+// handleTimeline serves a sweep's lifecycle timeline. Operational
+// detail (which shard, when preempted) is admin-scoped under -auth,
+// like pprof and membership mutation; open otherwise.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	if err := CheckAdmin(r); err != nil {
+		writeError(w, http.StatusForbidden, err)
+		return
+	}
+	st := s.lookup(r.PathValue("id"))
+	if st == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	events := st.tl.Snapshot()
+	obs.SortEvents(events)
+	writeJSON(w, obs.TimelineView{ID: st.id, Events: events})
 }
 
 // handleDelete evicts a finished sweep from the job store — its state,
@@ -1175,41 +1329,59 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// ?format=prometheus (or a text/plain Accept, what scrapers send)
+	// selects text exposition; the default stays the flat JSON object,
+	// whose existing field names are a compatibility contract.
+	if obs.WantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		s.met.reg.WritePrometheus(w)
+		return
+	}
 	s.mu.Lock()
 	draining, actives := s.draining, s.actives
 	s.mu.Unlock()
 	wallNs := s.met.simWallNs.Load()
 	events := s.met.simEvents.Load()
+	// The headline rate is events over accumulated busy time, so it
+	// reflects simulator throughput and holds steady while the daemon
+	// idles; the uptime-based rate is exposed alongside for comparison.
 	perSec := 0.0
 	if wallNs > 0 {
 		perSec = float64(events) / (float64(wallNs) / 1e9)
 	}
+	uptime := time.Since(s.start).Seconds()
+	perUptimeSec := 0.0
+	if uptime > 0 {
+		perUptimeSec = float64(events) / uptime
+	}
 	m := Metrics{
-		UptimeSeconds:      time.Since(s.start).Seconds(),
-		Draining:           draining,
-		SweepsSubmitted:    s.met.sweepsSubmitted.Load(),
-		SweepsActive:       uint64(actives),
-		SweepsCompleted:    s.met.sweepsCompleted.Load(),
-		SweepsCheckpointed: s.met.sweepsCheckpointed.Load(),
-		SweepsRecovered:    s.met.sweepsRecovered.Load(),
-		SweepsDeleted:      s.met.sweepsDeleted.Load(),
-		SweepsExpired:      s.met.sweepsExpired.Load(),
-		JobsRun:            s.met.jobsRun.Load(),
-		JobsAborted:        s.met.jobsAborted.Load(),
-		JobErrors:          s.met.jobErrors.Load(),
-		CacheHits:          s.met.cacheHits.Load(),
-		CacheDiskHits:      s.met.cacheDiskHits.Load(),
-		CacheMisses:        s.met.cacheMisses.Load(),
-		InflightCoalesced:  s.met.coalesced.Load(),
-		CacheEntries:       s.cache.lru.Len(),
-		CacheCapacity:      s.cache.lru.cap,
-		TracesUploaded:     s.met.tracesUploaded.Load(),
-		SimEventsTotal:     events,
-		SimEventsPerSec:    perSec,
-		CheckpointsWritten: s.met.checkpointsWritten.Load(),
-		CheckpointBytes:    s.met.checkpointBytes.Load(),
-		JobsResumed:        s.met.jobsResumed.Load(),
-		JobsPreempted:      s.met.jobsPreempted.Load(),
+		UptimeSeconds:         uptime,
+		Draining:              draining,
+		SweepsSubmitted:       s.met.sweepsSubmitted.Load(),
+		SweepsActive:          uint64(actives),
+		SweepsCompleted:       s.met.sweepsCompleted.Load(),
+		SweepsCheckpointed:    s.met.sweepsCheckpointed.Load(),
+		SweepsRecovered:       s.met.sweepsRecovered.Load(),
+		SweepsDeleted:         s.met.sweepsDeleted.Load(),
+		SweepsExpired:         s.met.sweepsExpired.Load(),
+		JobsRun:               s.met.jobsRun.Load(),
+		JobsAborted:           s.met.jobsAborted.Load(),
+		JobErrors:             s.met.jobErrors.Load(),
+		CacheHits:             s.met.cacheHits.Load(),
+		CacheDiskHits:         s.met.cacheDiskHits.Load(),
+		CacheMisses:           s.met.cacheMisses.Load(),
+		InflightCoalesced:     s.met.coalesced.Load(),
+		CacheEntries:          s.cache.lru.Len(),
+		CacheCapacity:         s.cache.lru.cap,
+		TracesUploaded:        s.met.tracesUploaded.Load(),
+		SimEventsTotal:        events,
+		SimEventsPerSec:       perSec,
+		SimBusySeconds:        float64(wallNs) / 1e9,
+		SimEventsPerUptimeSec: perUptimeSec,
+		CheckpointsWritten:    s.met.checkpointsWritten.Load(),
+		CheckpointBytes:       s.met.checkpointBytes.Load(),
+		JobsResumed:           s.met.jobsResumed.Load(),
+		JobsPreempted:         s.met.jobsPreempted.Load(),
 	}
 	if s.cache.disk != nil {
 		m.DiskEntries = s.cache.disk.Len()

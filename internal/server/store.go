@@ -6,6 +6,7 @@ import (
 	"time"
 
 	allarm "allarm"
+	"allarm/internal/obs"
 )
 
 // Sweep lifecycle states.
@@ -107,7 +108,9 @@ type sweepState struct {
 	created   time.Time
 	sweep     *allarm.Sweep
 	total     int
-	recovered bool // re-enqueued from disk at boot
+	recovered bool   // re-enqueued from disk at boot
+	reqID     string // correlation id of the accepting request (timeline stamp)
+	tl        obs.Timeline
 
 	mu         sync.Mutex
 	status     string
@@ -158,8 +161,15 @@ func (st *sweepState) publish(typ string, payload any) {
 	}
 }
 
+// timeline appends one lifecycle event, stamped with the sweep's
+// correlation id. job is the job index, -1 for sweep-level events.
+func (st *sweepState) timeline(event string, job int, detail string) {
+	st.tl.Add(obs.TimelineEvent{Event: event, Job: job, Detail: detail, RequestID: st.reqID})
+}
+
 // jobStarted marks job i running (the Runner.Start hook).
 func (st *sweepState) jobStarted(i int) {
+	st.timeline("started", i, "")
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.jobs[i].Status = JobRunning
@@ -198,6 +208,7 @@ func (st *sweepState) jobFinished(i int, r allarm.SweepResult, resumed bool) {
 		st.jobs[i].Status = JobError
 		st.jobs[i].Error = r.Err.Error()
 	}
+	st.tl.Add(obs.TimelineEvent{Event: "finished", Job: i, Detail: st.jobs[i].Status, RequestID: st.reqID})
 	st.publish("job", st.jobEventLocked(i))
 }
 
@@ -223,6 +234,7 @@ func (st *sweepState) finish(results []allarm.SweepResult, checkpointed bool) {
 	} else {
 		st.status = StatusDone
 	}
+	st.tl.Add(obs.TimelineEvent{Event: "done", Job: -1, Detail: st.status, RequestID: st.reqID})
 	st.publish("sweep", sweepEvent{Sweep: st.id, Status: st.status, Done: st.done, Total: st.total})
 	close(st.finished)
 }

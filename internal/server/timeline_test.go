@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	allarm "allarm"
+	"allarm/internal/obs"
+)
+
+// timelineOf fetches a sweep's timeline view.
+func timelineOf(t *testing.T, base, id string, header ...string) obs.TimelineView {
+	t.Helper()
+	resp, body := get(t, base+"/v1/sweeps/"+id+"/timeline", header...)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline: %d: %s", resp.StatusCode, body)
+	}
+	var tv obs.TimelineView
+	if err := json.Unmarshal(body, &tv); err != nil {
+		t.Fatal(err)
+	}
+	return tv
+}
+
+// firstEvent returns the index of the first event with this name, or -1.
+func firstEvent(events []obs.TimelineEvent, name string) int {
+	for i, e := range events {
+		if e.Event == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTimelineLifecycle pins the per-sweep timeline through the
+// preemption scenario: with one worker and checkpointing on, a long job
+// checkpoints, yields its slot to a short job, and finishes — and its
+// timeline records accepted, expanded, started, checkpointed, preempted,
+// finished and done in that order, every event stamped with the sweep's
+// correlation id.
+func TestTimelineLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations")
+	}
+	dir := t.TempDir()
+	_, base := newTestServer(t, Options{
+		Workers: 1, CacheDir: dir, CheckpointInterval: 2048,
+	})
+	long := submit(t, base, ckptSweepRequest(40_000))
+	waitJob(t, base, long.ID, 0, JobRunning)
+	short := submit(t, base, SweepRequest{
+		Benchmarks: []string{"barnes"},
+		Policies:   []string{"baseline"},
+		Config:     &ConfigOverrides{Threads: 2, AccessesPerThread: 200},
+	})
+	waitDone(t, base, short.ID)
+	waitDone(t, base, long.ID)
+
+	tv := timelineOf(t, base, long.ID)
+	if tv.ID != long.ID {
+		t.Fatalf("timeline id = %q, want %q", tv.ID, long.ID)
+	}
+	order := []string{"accepted", "expanded", "started", "checkpointed", "preempted", "finished", "done"}
+	last := -1
+	for _, name := range order {
+		i := firstEvent(tv.Events, name)
+		if i < 0 {
+			t.Fatalf("timeline missing %q event: %+v", name, tv.Events)
+		}
+		if i < last {
+			t.Errorf("%q event out of order (index %d after %d): %+v", name, i, last, tv.Events)
+		}
+		last = i
+	}
+	reqID := tv.Events[0].RequestID
+	if reqID == "" {
+		t.Fatal("timeline events carry no request id")
+	}
+	for _, e := range tv.Events {
+		if e.RequestID != reqID {
+			t.Errorf("event %q request id %q != sweep's %q", e.Event, e.RequestID, reqID)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("event %q has a zero timestamp", e.Event)
+		}
+	}
+}
+
+// TestTimelineResumeAfterKill: a recovered sweep's timeline on the
+// successor daemon records the recovery and the checkpoint resume
+// before the job finishes.
+func TestTimelineResumeAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations")
+	}
+	dir := t.TempDir()
+	s1, base1 := newTestServer(t, Options{
+		Workers: 1, CacheDir: dir, CheckpointInterval: 4096,
+	})
+	sr := submit(t, base1, ckptSweepRequest(30_000))
+	ckptDir := filepath.Join(dir, "jobckpts")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if names, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt")); len(names) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint was written")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s1.Close()
+
+	_, base2 := newTestServer(t, Options{
+		Workers: 1, CacheDir: dir, CheckpointInterval: 4096,
+	})
+	waitDone(t, base2, sr.ID)
+	tv := timelineOf(t, base2, sr.ID)
+	acc, res, fin := firstEvent(tv.Events, "accepted"), firstEvent(tv.Events, "resumed"), firstEvent(tv.Events, "finished")
+	if acc < 0 || res < 0 || fin < 0 {
+		t.Fatalf("recovered timeline missing accepted/resumed/finished: %+v", tv.Events)
+	}
+	if !(acc < res && res < fin) {
+		t.Errorf("recovered timeline out of order (accepted %d, resumed %d, finished %d)", acc, res, fin)
+	}
+	if d := tv.Events[acc].Detail; !strings.Contains(d, "recovered") {
+		t.Errorf("recovered accept detail = %q", d)
+	}
+}
+
+// stubRun is an instant fake simulation for HTTP-surface tests.
+func stubRun(ctx context.Context, j allarm.Job) (*allarm.Result, error) {
+	return &allarm.Result{Benchmark: j.WorkloadName(), PolicyUsed: j.Config.Policy, Events: 7, RuntimeNs: 1000}, nil
+}
+
+// smallRequest is a two-job stub sweep.
+func smallRequest() SweepRequest {
+	return SweepRequest{
+		Benchmarks: []string{"barnes"},
+		Policies:   []string{"baseline", "allarm"},
+		Config:     &ConfigOverrides{Threads: 2, AccessesPerThread: 100},
+	}
+}
+
+// TestMetricsPrometheusEndpoint pins format negotiation on GET /metrics:
+// the default stays the JSON object, ?format=prometheus and a
+// text/plain Accept select exposition text carrying the histogram
+// families, and the JSON keeps its existing field names.
+func TestMetricsPrometheusEndpoint(t *testing.T) {
+	_, base := newTestServer(t, Options{Workers: 2, RunJob: stubRun})
+	sr := submit(t, base, smallRequest())
+	waitDone(t, base, sr.ID)
+
+	resp, body := get(t, base+"/metrics?format=prometheus")
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE allarm_jobs_run_total counter",
+		"# TYPE allarm_job_duration_seconds histogram",
+		"allarm_job_duration_seconds_bucket{le=\"+Inf\"} 2",
+		"allarm_job_duration_seconds_count 2",
+		"# TYPE allarm_job_queue_wait_seconds histogram",
+		"# TYPE allarm_sweeps_active gauge",
+		"allarm_jobs_run_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Accept negotiation selects the same text; explicit format=json wins
+	// over Accept.
+	if resp, _ := get(t, base+"/metrics", "Accept", "text/plain"); resp.Header.Get("Content-Type") != obs.PrometheusContentType {
+		t.Errorf("Accept: text/plain did not select exposition text")
+	}
+	if _, body := get(t, base+"/metrics?format=json", "Accept", "text/plain"); !json.Valid(body) {
+		t.Errorf("format=json did not return JSON: %s", body)
+	}
+
+	// The default JSON shape: existing fields unchanged, new rate fields
+	// populated consistently.
+	var m Metrics
+	_, body = get(t, base+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsRun != 2 || m.SweepsSubmitted != 1 {
+		t.Errorf("JSON metrics: %+v", m)
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v", m.UptimeSeconds)
+	}
+}
+
+// TestObservabilityAdminGating: with -auth configured, the timeline and
+// pprof endpoints demand the admin scope — 401 unauthenticated, 403 for
+// plain clients, 200 for admins. Without a Guard both are open.
+func TestObservabilityAdminGating(t *testing.T) {
+	g, err := NewGuard([]ClientConfig{
+		{Token: "plain-token", Name: "ci"},
+		{Token: "admin-token", Name: "ops", Admin: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := newTestServer(t, Options{Workers: 1, RunJob: stubRun, Guard: g})
+
+	resp, _ := postJSON(t, base+"/v1/sweeps", smallRequest())
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated submit: %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest("POST", base+"/v1/sweeps", strings.NewReader(`{"benchmarks":["barnes"],"policies":["baseline"],"config":{"threads":2,"accesses_per_thread":100}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer admin-token")
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(hr.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusAccepted {
+		t.Fatalf("admin submit: %d", hr.StatusCode)
+	}
+
+	for _, path := range []string{"/v1/sweeps/" + sr.ID + "/timeline", "/debug/pprof/"} {
+		if resp, _ := get(t, base+path); resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s unauthenticated: %d, want 401", path, resp.StatusCode)
+		}
+		if resp, _ := get(t, base+path, "Authorization", "Bearer plain-token"); resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s plain client: %d, want 403", path, resp.StatusCode)
+		}
+		if resp, _ := get(t, base+path, "Authorization", "Bearer admin-token"); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s admin: %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// Open by default: no Guard means no scopes to enforce.
+	_, openBase := newTestServer(t, Options{Workers: 1, RunJob: stubRun})
+	osr := submit(t, openBase, smallRequest())
+	waitDone(t, openBase, osr.ID)
+	if resp, _ := get(t, openBase+"/v1/sweeps/"+osr.ID+"/timeline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("timeline without auth: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, openBase+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof without auth: %d", resp.StatusCode)
+	}
+}
+
+// TestRequestIDEchoedAndAdopted: the daemon mints an id when the caller
+// sends none and adopts the caller's when present, echoing it either way.
+func TestRequestIDEchoedAndAdopted(t *testing.T) {
+	_, base := newTestServer(t, Options{Workers: 1, RunJob: stubRun})
+	resp, _ := get(t, base+"/v1/policies")
+	if resp.Header.Get(obs.RequestIDHeader) == "" {
+		t.Error("no request id minted")
+	}
+	resp, _ = get(t, base+"/v1/policies", obs.RequestIDHeader, "caller-chosen-id")
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "caller-chosen-id" {
+		t.Errorf("caller id not adopted: %q", got)
+	}
+}
