@@ -87,6 +87,26 @@
 // for ALLARM. See README.md for a quickstart and cmd/allarm-bench for
 // the figure-regeneration CLI.
 //
+// # Parallel simulation
+//
+// Config.SimThreads (CLI: -sim-threads) runs one simulation on several
+// cores: the mesh's tiles are partitioned into contiguous blocks, one
+// event heap per block, drained concurrently in conservative time
+// windows bounded by the NoC's minimum cross-tile latency (the PDES
+// lookahead). Cross-tile messages are staged during a window, and the
+// window barrier replays each shard's log of dispatches and scheduling
+// calls through one virtual heap with a true global FIFO counter,
+// reconstructing the serial engine's event order exactly — results are
+// bit-identical to SimThreads=1 for every workload, policy and
+// GOMAXPROCS, which is why SimThreads is excluded from Job.Key (a
+// cached result serves requests at any thread count) and why machine
+// checkpoints are interchangeable across thread counts. Machines the
+// scheme cannot shard (CheckInvariants, the next-touch memory policy,
+// workloads that do not declare their pages) silently run serial;
+// SimThreads <= 1 is the unchanged serial engine. See README.md's
+// "Parallel simulation (PDES)" section for the model and when it
+// helps.
+//
 // # Serving
 //
 // cmd/allarm-serve runs the sweep engine as a long-lived service

@@ -98,9 +98,18 @@ const (
 // Options configures a Server.
 type Options struct {
 	// Workers bounds concurrently running simulations across all sweeps
-	// (<= 0: NumCPU). Request handling is not bounded by it: cache hits
-	// and status reads never wait for a worker.
+	// (<= 0: NumCPU, divided by SimThreads when that is set so the
+	// total goroutine demand stays near the core count). Request
+	// handling is not bounded by it: cache hits and status reads never
+	// wait for a worker.
 	Workers int
+	// SimThreads, when > 1, runs every executed simulation on that many
+	// parallel event shards (Config.SimThreads). It is applied at
+	// execution time and is NOT part of a job's cache identity: the
+	// parallel engine is bit-identical to the serial one, so a result
+	// computed at any thread count serves every client. Machines that
+	// cannot shard fall back to serial execution on their own.
+	SimThreads int
 	// CacheEntries bounds the in-memory result cache (<= 0:
 	// DefaultCacheEntries). The disk tier, when enabled, is unbounded.
 	CacheEntries int
@@ -216,6 +225,13 @@ func New(opts Options) (*Server, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
+		if opts.SimThreads > 1 {
+			// Each running job occupies SimThreads cores; keep the
+			// default pool from oversubscribing the machine.
+			if workers = workers / opts.SimThreads; workers < 1 {
+				workers = 1
+			}
+		}
 	}
 	entries := opts.CacheEntries
 	if entries <= 0 {
@@ -950,6 +966,12 @@ func (s *Server) lead(ctx context.Context, key string, job allarm.Job) (*allarm.
 	s.met.queueWait.ObserveSince(enqueued)
 
 	s.met.cacheMisses.Add(1)
+	if s.opts.SimThreads > 0 {
+		// Execution-time knob only: the key the result is cached under
+		// was computed before this (SimThreads is excluded from Job.Key
+		// because results are thread-count-invariant).
+		job.Config.SimThreads = s.opts.SimThreads
+	}
 	start := time.Now()
 	res, err := s.runJob(ctx, job)
 	s.met.jobsRun.Add(1)

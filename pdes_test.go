@@ -1,0 +1,350 @@
+package allarm_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	allarm "allarm"
+)
+
+// The PDES determinism matrix: every workload family, run under every
+// sharding level and at two GOMAXPROCS settings, must produce a Result
+// byte-identical to the serial engine's. This is the contract that lets
+// SimThreads stay out of Job.Key (a cached serial result may serve a
+// parallel request and vice versa) — so it is asserted on the marshaled
+// bytes, not a tolerance.
+
+var pdesThreadMatrix = []int{1, 2, 4, 8}
+
+func pdesConfig(t *testing.T) allarm.Config {
+	t.Helper()
+	cfg := allarm.DefaultConfig()
+	cfg.Threads = 8
+	cfg.AccessesPerThread = 1500
+	cfg.Seed = 11
+	return cfg
+}
+
+func resultBytes(t *testing.T, r *allarm.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runMatrix executes run under every (SimThreads, GOMAXPROCS) cell and
+// asserts all results are byte-identical to the serial baseline.
+func runMatrix(t *testing.T, run func(t *testing.T, simThreads int) *allarm.Result) {
+	t.Helper()
+	var baseline []byte
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, st := range pdesThreadMatrix {
+			r := run(t, st)
+			got := resultBytes(t, r)
+			if baseline == nil {
+				baseline = got
+				continue
+			}
+			if string(got) != string(baseline) {
+				runtime.GOMAXPROCS(prev)
+				t.Fatalf("SimThreads=%d GOMAXPROCS=%d diverged from serial:\n got %s\nwant %s",
+					st, procs, got, baseline)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+func TestPDESDeterminismPreset(t *testing.T) {
+	for _, bench := range []string{"barnes", "ocean-cont"} {
+		for _, pol := range []allarm.Policy{allarm.Baseline, allarm.ALLARM, allarm.ALLARMHyst} {
+			t.Run(fmt.Sprintf("%s/%v", bench, pol), func(t *testing.T) {
+				runMatrix(t, func(t *testing.T, st int) *allarm.Result {
+					cfg := pdesConfig(t)
+					cfg.Policy = pol
+					cfg.SimThreads = st
+					r, err := allarm.RunBenchmark(cfg, bench)
+					if err != nil {
+						t.Fatalf("SimThreads=%d: %v", st, err)
+					}
+					return r
+				})
+			})
+		}
+	}
+}
+
+// TestPDESDeterminismExperimentScale runs the paper's scaled-cache
+// experiment configuration long enough for cross-shard scheduling
+// collisions to matter. The small-run matrix above once passed while
+// ExperimentConfig diverged beyond ~2500 accesses per thread (lockstep
+// 1 ns retry chains tie any heuristic per-shard key at every ancestor
+// depth; only the barrier's exact serial replay orders them) — so the
+// regression pin is at a scale where that class of bug is visible.
+func TestPDESDeterminismExperimentScale(t *testing.T) {
+	for _, bench := range []string{"ocean-cont", "barnes"} {
+		t.Run(bench, func(t *testing.T) {
+			var baseline []byte
+			for _, st := range []int{1, 2, 8} {
+				cfg := allarm.ExperimentConfig()
+				cfg.AccessesPerThread = 6000
+				cfg.Policy = allarm.ALLARM
+				cfg.SimThreads = st
+				r, err := allarm.RunBenchmark(cfg, bench)
+				if err != nil {
+					t.Fatalf("SimThreads=%d: %v", st, err)
+				}
+				got := resultBytes(t, r)
+				if baseline == nil {
+					baseline = got
+					continue
+				}
+				if string(got) != string(baseline) {
+					t.Fatalf("SimThreads=%d diverged from serial at experiment scale:\n got %s\nwant %s",
+						st, got, baseline)
+				}
+			}
+		})
+	}
+}
+
+func TestPDESDeterminismTraceReplay(t *testing.T) {
+	cfg := pdesConfig(t)
+	cfg.AccessesPerThread = 800
+	src, err := allarm.BenchmarkWorkload("cholesky", cfg.Threads, cfg.AccessesPerThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data bytes.Buffer
+	if err := allarm.CaptureTrace(&data, src, cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	runMatrix(t, func(t *testing.T, st int) *allarm.Result {
+		wl, err := allarm.ReadTrace(bytes.NewReader(data.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.SimThreads = st
+		r, err := allarm.Run(c, wl)
+		if err != nil {
+			t.Fatalf("SimThreads=%d: %v", st, err)
+		}
+		return r
+	})
+}
+
+func TestPDESDeterminismProgrammatic(t *testing.T) {
+	// A programmatic workload with a declared footprint: 4 threads
+	// ping-ponging writes over a small shared region plus a private
+	// stride each — heavy cross-shard traffic at every window.
+	const threads = 4
+	mk := func() allarm.Workload {
+		wl, err := allarm.NewWorkload(allarm.WorkloadSpec{
+			Name: "pdes-pingpong", Threads: threads, Key: "pdes-pingpong-v1",
+			Stream: func(thread int, seed uint64) allarm.Stream {
+				n := 0
+				return allarm.StreamFunc(func() (allarm.Access, bool) {
+					if n >= 600 {
+						return allarm.Access{}, false
+					}
+					n++
+					if n%3 == 0 {
+						return allarm.Access{
+							VAddr: 0x4000_0000 + uint64((n+thread)%32)*64,
+							Write: thread%2 == 0,
+							Think: allarm.Nanosecond,
+						}, true
+					}
+					return allarm.Access{
+						VAddr: 0x1000_0000 + uint64(thread)<<20 + uint64(n)*64,
+						Write: n%5 == 0,
+						Think: 2 * allarm.Nanosecond,
+					}, true
+				})
+			},
+			Pages: func(fn func(page uint64, thread int)) {
+				fn(0x4000_0000, 0)
+				for th := 0; th < threads; th++ {
+					base := 0x1000_0000 + uint64(th)<<20
+					for off := uint64(0); off < 600*64+4096; off += 4096 {
+						fn(base+off, th)
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wl
+	}
+	runMatrix(t, func(t *testing.T, st int) *allarm.Result {
+		cfg := pdesConfig(t)
+		cfg.SimThreads = st
+		r, err := allarm.Run(cfg, mk())
+		if err != nil {
+			t.Fatalf("SimThreads=%d: %v", st, err)
+		}
+		return r
+	})
+}
+
+func TestPDESDeterminismMultiProcess(t *testing.T) {
+	runMatrix(t, func(t *testing.T, st int) *allarm.Result {
+		cfg := pdesConfig(t)
+		cfg.Threads = 1
+		cfg.AccessesPerThread = 1200
+		cfg.Policy = allarm.ALLARM
+		cfg.SimThreads = st
+		r, err := allarm.RunMultiProcess(cfg, allarm.DefaultMultiProcess(), "ocean-cont")
+		if err != nil {
+			t.Fatalf("SimThreads=%d: %v", st, err)
+		}
+		return r
+	})
+}
+
+// TestPDESSerialFallbacks pins the silent-fallback matrix: machines that
+// cannot shard run serially (and still succeed).
+func TestPDESSerialFallbacks(t *testing.T) {
+	cfg := pdesConfig(t)
+	cfg.AccessesPerThread = 200
+	cfg.SimThreads = 4
+
+	t.Run("next-touch", func(t *testing.T) {
+		c := cfg
+		c.MemPolicy = allarm.NextTouch
+		if _, err := allarm.RunBenchmark(c, "barnes"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("invariant-checker", func(t *testing.T) {
+		c := cfg
+		c.CheckInvariants = true
+		if _, err := allarm.RunBenchmark(c, "barnes"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("undeclared-pages", func(t *testing.T) {
+		// A programmatic workload without Pages cannot be sealed; it must
+		// fall back to the serial engine rather than fail mid-run.
+		wl, err := allarm.NewWorkload(allarm.WorkloadSpec{
+			Name: "nopages", Threads: 2,
+			Stream: func(thread int, seed uint64) allarm.Stream {
+				n := 0
+				return allarm.StreamFunc(func() (allarm.Access, bool) {
+					if n >= 50 {
+						return allarm.Access{}, false
+					}
+					n++
+					return allarm.Access{VAddr: uint64(0x1000 * (n + thread))}, true
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := allarm.Run(cfg, wl); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPDESSnapshotCrossThreadResume: a checkpoint is a property of the
+// job, not of the execution strategy. A snapshot taken under one
+// SimThreads must resume under any other — parallel snapshots merge the
+// shard heaps into the serial canonical form — and finish bit-identical
+// to an uninterrupted serial run.
+func TestPDESSnapshotCrossThreadResume(t *testing.T) {
+	cfg := resumeTestConfig()
+	cfg.Policy = allarm.ALLARM
+	ref, err := allarm.Job{Benchmark: "barnes", Config: cfg}.Run()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refJSON := marshalResult(t, ref)
+
+	for _, pair := range []struct{ snap, resume int }{{4, 1}, {1, 4}, {2, 8}} {
+		t.Run(fmt.Sprintf("%d-to-%d", pair.snap, pair.resume), func(t *testing.T) {
+			job := allarm.Job{Benchmark: "barnes", Config: cfg}
+			job.Config.SimThreads = pair.snap
+			h, err := allarm.StartJob(job)
+			if err != nil {
+				t.Fatalf("StartJob: %v", err)
+			}
+			blob := snapshotMidway(t, h, ref.Events/2)
+			preEvents := h.Events()
+
+			job.Config.SimThreads = pair.resume
+			r, err := allarm.ResumeJob(job, bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("ResumeJob with SimThreads=%d: %v", pair.resume, err)
+			}
+			if r.Events() != preEvents {
+				t.Fatalf("resumed handle reports %d events, snapshot had %d", r.Events(), preEvents)
+			}
+			resumed := driveToEnd(t, r)
+			if got := marshalResult(t, resumed); !bytes.Equal(refJSON, got) {
+				t.Fatalf("snapshot@%d resumed@%d differs from serial run:\n got %s\nwant %s",
+					pair.snap, pair.resume, got, refJSON)
+			}
+		})
+	}
+}
+
+// TestPDESCancelMidWindow checks that cancelling a sharded run mid-flight
+// yields a well-formed partial Result, like the serial engine's.
+func TestPDESCancelMidWindow(t *testing.T) {
+	cfg := pdesConfig(t)
+	cfg.AccessesPerThread = 20_000
+	cfg.SimThreads = 4
+
+	// First measure the total event count, then cancel roughly mid-run
+	// using a context that expires after a fixed number of Step windows.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wl, err := allarm.BenchmarkWorkload("barnes", cfg.Threads, cfg.AccessesPerThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := allarm.StartJob(allarm.Job{Workload: wl, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	for i := 0; !done; i++ {
+		if i == 3 {
+			cancel()
+		}
+		done, err = h.Step(ctx, 50_000)
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("run completed before cancellation; raise AccessesPerThread")
+	}
+	if !allarm.IsCancellation(err) {
+		t.Fatalf("expected a cancellation error, got %v", err)
+	}
+	res := h.Partial()
+	if res == nil {
+		t.Fatal("cancelled run has no partial result")
+	}
+	if !res.Partial {
+		t.Fatal("partial result not marked Partial")
+	}
+	if res.Accesses == 0 || res.Events == 0 {
+		t.Fatalf("partial result is empty: %+v", res)
+	}
+	if res.RuntimeNs < 0 {
+		t.Fatalf("partial result has negative runtime: %v", res.RuntimeNs)
+	}
+}

@@ -128,6 +128,17 @@ func buildWorkloadMachine(cfg Config, wl Workload) (*system.Machine, []system.Th
 	if err != nil {
 		return nil, nil, err
 	}
+	if sysCfg.SimThreads > 1 {
+		// Sharded runs need the whole footprint declared up front (the
+		// address space is sealed below). A workload that declares no
+		// pages at all — a programmatic Workload without Pages — gets the
+		// serial engine instead of a mid-run failure.
+		declared := false
+		wl.ForEachPage(func(uint64, int) { declared = true })
+		if !declared {
+			sysCfg.SimThreads = 1
+		}
+	}
 	m, err := system.New(sysCfg)
 	if err != nil {
 		return nil, nil, err
@@ -137,6 +148,12 @@ func buildWorkloadMachine(cfg Config, wl Workload) (*system.Machine, []system.Th
 	wl.ForEachPage(func(page uint64, thread int) {
 		space.Translate(mem.VAddr(page), nodeOf(thread))
 	})
+	if m.Shards() > 1 {
+		// Shard goroutines translate concurrently; with every page
+		// pre-placed above, sealing makes translation read-only (and an
+		// undeclared page a loud failure instead of a data race).
+		space.Seal()
+	}
 
 	threads := make([]system.ThreadSpec, 0, wl.Threads())
 	for t := 0; t < wl.Threads(); t++ {
@@ -307,6 +324,9 @@ func buildMultiProcessMachine(cfg Config, mp MultiProcessConfig, benchmark strin
 		node := mem.NodeID(c * spread)
 		space := m.NewAddressSpace(cfg.memPolicy())
 		system.Preplace(space, wl, func(int) mem.NodeID { return node })
+		if m.Shards() > 1 {
+			space.Seal() // see buildWorkloadMachine
+		}
 		threads = append(threads, system.ThreadSpec{
 			Node:   node,
 			Stream: wl.Stream(0, cfg.Seed+uint64(c)*7919),
